@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Run every example script end to end.
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+# Regenerate results/*.txt and the archived outputs.
+figures:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

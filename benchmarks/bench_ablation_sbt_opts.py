@@ -1,0 +1,94 @@
+"""Ablation — the SBT's optimization passes (functional VM).
+
+Isolates each stage of the hotspot optimizer on real hot loops: dead-flag
+elimination, redundant-load elimination / store-forwarding, and macro-op
+fusion.  Results are identical in every variant (the correctness
+contract); what changes is the quality of the emitted superblocks — the
+source of the paper's p = 1.15–1.2 SBT-over-BBT speedup and the 49%/57%
+fused fractions.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core import CoDesignedVM, vm_soft
+from repro.isa.x86lite import assemble
+from conftest import emit
+
+PROGRAM = """
+start:
+    mov esi, 0x600000
+    mov dword [esi], 1
+    mov ecx, 500
+loop:
+    mov eax, [esi]
+    lea ebx, [eax+eax*2]
+    add [esi], ebx
+    mov edx, [esi]
+    and edx, 0xFFFF
+    mov [esi+4], edx
+    dec ecx
+    jnz loop
+    mov eax, 1
+    mov ebx, [0x600004]
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+VARIANTS = [
+    ("all passes", dict()),
+    ("no fusion", dict(enable_fusion=False)),
+    ("no flag elim", dict(enable_dead_flag_elim=False)),
+    ("no load elim", dict(enable_load_elim=False)),
+    ("none", dict(enable_fusion=False, enable_dead_flag_elim=False,
+                  enable_load_elim=False)),
+]
+
+
+def _run(**overrides):
+    vm = CoDesignedVM(vm_soft(), hot_threshold=6)
+    vm.load(assemble(PROGRAM))
+    for key, value in overrides.items():
+        setattr(vm.runtime.sbt, key, value)
+    report = vm.run()
+    sbt = vm.runtime.sbt
+    return report, sbt
+
+
+def test_ablation_sbt_opts(benchmark):
+    rows = []
+    outputs = set()
+    measured = {}
+    for label, overrides in VARIANTS:
+        report, sbt = _run(**overrides)
+        outputs.add(tuple(report.output))
+        measured[label] = (report, sbt)
+        rows.append([label,
+                     sbt.uops_emitted,
+                     sbt.pairs_fused,
+                     f"{report.fused_uop_fraction:.1%}",
+                     sbt.flags_eliminated,
+                     sbt.loads_eliminated])
+    table = format_table(
+        ["variant", "SBT uops", "pairs fused", "dyn fused frac",
+         "flags elim", "loads elim"],
+        rows,
+        title="Ablation - SBT optimization passes (hot RMW loop, "
+              "identical program results in every variant)")
+    emit("ablation_sbt_opts", table)
+
+    # correctness: every variant computes the same answer
+    assert len(outputs) == 1
+    full_report, full_sbt = measured["all passes"]
+    none_report, none_sbt = measured["none"]
+    # each pass does real work on this loop
+    assert full_sbt.pairs_fused > 0
+    assert full_sbt.flags_eliminated > 0
+    assert full_sbt.loads_eliminated > 0
+    assert measured["no fusion"][1].pairs_fused == 0
+    assert measured["no load elim"][1].loads_eliminated == 0
+    # optimization shrinks executed micro-op footprints
+    assert full_report.fused_uop_fraction > \
+        none_report.fused_uop_fraction
+
+    benchmark.pedantic(lambda: _run(), rounds=3, iterations=1)

@@ -1,0 +1,54 @@
+"""Ablation — the hot-threshold trade-off behind Eq. 2.
+
+Section 3.2 argues for a *balanced* threshold: too low and SBT overhead
+explodes (many lukewarm blocks optimized); too high and hotspot coverage
+(and its +8%) is forfeited.  This sweep varies the threshold around the
+derived 8000 and shows total VM time is worst at the extremes.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.timing import simulate_startup
+from conftest import FULL_TRACE, emit
+
+THRESHOLDS = [25, 250, 2_000, 8_000, 32_000, 128_000]
+
+
+def test_ablation_hot_threshold(lab, benchmark):
+    workload = lab.workload("Word", FULL_TRACE)
+    base_config = lab.configs["VM.soft"]
+    rows = []
+    totals = {}
+    for threshold in THRESHOLDS:
+        config = base_config.with_(hot_threshold=threshold)
+        result = simulate_startup(config, workload)
+        totals[threshold] = result.total_cycles
+        rows.append([threshold,
+                     result.total_cycles / 1e6,
+                     result.m_sbt_instrs,
+                     100 * result.hotspot_coverage,
+                     result.breakdown.get("sbt_translation", 0) / 1e6])
+    table = format_table(
+        ["hot threshold", "total Mcycles", "M_SBT instrs",
+         "coverage %", "SBT overhead Mcycles"],
+        rows,
+        title="Ablation - hot-threshold sweep (VM.soft, Word, 500M "
+              "instrs; Eq. 2 derives 8000)")
+    best = min(totals, key=totals.get)
+    notes = (f"\nbest threshold in sweep: {best} "
+             f"(Eq. 2's derivation: 8000)")
+    emit("ablation_threshold", table + notes)
+
+    # the derived threshold must beat both extremes
+    assert totals[8_000] < totals[25]
+    assert totals[8_000] < totals[128_000]
+    # low thresholds explode SBT translation overhead
+    low = simulate_startup(base_config.with_(hot_threshold=25), workload)
+    high = simulate_startup(base_config.with_(hot_threshold=8000),
+                            workload)
+    assert low.breakdown["sbt_translation"] > \
+        5 * high.breakdown["sbt_translation"]
+    # high thresholds forfeit coverage
+    assert low.hotspot_coverage > high.hotspot_coverage
+
+    config = base_config.with_(hot_threshold=2000)
+    benchmark(lambda: simulate_startup(config, workload))

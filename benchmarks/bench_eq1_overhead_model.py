@@ -1,0 +1,54 @@
+"""Eq. 1 — translation overhead = M_BBT*Δ_BBT + M_SBT*Δ_SBT.
+
+The paper evaluates the equation with measured parameters: 150K static
+instructions at 105 native instructions each (15.75M) plus 3K hotspot
+instructions at 1674 each (5.02M) — concluding BBT is the dominant
+overhead and the right target for hardware assists.  The bench checks the
+closed form and then cross-validates against the simulator's own M_BBT /
+M_SBT accounting.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis import translation_overhead
+from repro.analysis.reporting import format_table
+from conftest import SHORT_TRACE, emit
+
+
+def test_eq1_overhead_model(lab, benchmark):
+    model = translation_overhead()
+
+    measured_m_bbt = statistics.mean(
+        lab.result(app.name, "VM.soft", SHORT_TRACE).m_bbt_instrs
+        for app in lab.apps)
+    measured_m_sbt = statistics.mean(
+        lab.result(app.name, "VM.soft", SHORT_TRACE).m_sbt_instrs
+        for app in lab.apps)
+    measured = translation_overhead(m_bbt=int(measured_m_bbt),
+                                    m_sbt=int(measured_m_sbt))
+
+    table = format_table(
+        ["quantity", "paper", "simulated suite"],
+        [
+            ["M_BBT (static instrs)", 150_000, int(measured_m_bbt)],
+            ["M_SBT (hot instrs)", 3_000, int(measured_m_sbt)],
+            ["BBT overhead (native instrs)", model.bbt_overhead,
+             measured.bbt_overhead],
+            ["SBT overhead (native instrs)", model.sbt_overhead,
+             measured.sbt_overhead],
+            ["BBT share of total", model.bbt_fraction,
+             measured.bbt_fraction],
+        ],
+        title="Eq. 1 - translation overhead model "
+              "(100M-instruction traces)")
+    emit("eq1_overhead_model", table)
+
+    assert model.bbt_overhead == pytest.approx(15.75e6)
+    assert model.sbt_overhead == pytest.approx(5.022e6)
+    # the paper's conclusion: BBT dominates, in model and simulation
+    assert model.bbt_fraction > 0.5
+    assert measured.bbt_fraction > 0.5
+
+    benchmark(translation_overhead)

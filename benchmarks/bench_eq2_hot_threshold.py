@@ -1,0 +1,36 @@
+"""Eq. 2 — the Jikes-style break-even model that sets the hot threshold.
+
+N = Δ_SBT / (p - 1): with Δ_SBT ≈ 1200 x86 instructions and p = 1.15,
+N = 8000 — the threshold used by VM.soft/VM.be/VM.fe.  With an
+interpreter as the initial stage (p ≈ 45 vs interpretation), the same
+equation yields the ~25-execution threshold of the Interp+SBT strategy.
+"""
+
+import pytest
+
+from repro.analysis import hot_threshold, sbt_breakeven_executions
+from repro.analysis.reporting import format_table
+from conftest import emit
+
+
+def test_eq2_hot_threshold(benchmark):
+    rows = []
+    for delta, speedup, label in [
+            (1200, 1.15, "BBT stage, p = 1.15 (paper: 8000)"),
+            (1200, 1.20, "BBT stage, p = 1.20"),
+            (1152, 45.0, "interpreter stage (paper: ~25)"),
+            (600, 1.15, "hypothetical 2x cheaper optimizer"),
+    ]:
+        rows.append([label, delta, speedup,
+                     sbt_breakeven_executions(delta, speedup)])
+    table = format_table(
+        ["stage", "delta_SBT", "p", "break-even N"],
+        rows,
+        title="Eq. 2 - hot-threshold derivation: N = delta_SBT / (p - 1)")
+    emit("eq2_hot_threshold", table)
+
+    assert hot_threshold(1200, 1.15) == 8000
+    assert 20 <= sbt_breakeven_executions(1152, 45.0) <= 30
+    assert sbt_breakeven_executions(1200, 1.20) == pytest.approx(6000)
+
+    benchmark(lambda: hot_threshold(1200, 1.15))

@@ -1,0 +1,47 @@
+"""Fig. 3 — Winstone2004 instruction execution-frequency profile.
+
+Left axis: static x86 instructions per execution-frequency bucket (the
+working set is ~150K instructions and overwhelmingly cold).  Right axis:
+distribution of dynamic instructions over the same buckets (the paper
+highlights 30+% landing in the 10K-100K bucket).  The 8000-execution hot
+threshold cuts off roughly 3K static instructions (M_SBT).
+"""
+
+from repro.analysis import suite_frequency_profile
+from repro.analysis.frequency_profile import frequency_profile
+from repro.analysis.reporting import format_table
+from conftest import SHORT_TRACE, emit
+
+
+def test_fig03_frequency_profile(lab, benchmark):
+    workloads = [lab.workload(app.name, SHORT_TRACE) for app in lab.apps]
+    profile = suite_frequency_profile(workloads)
+
+    rows = []
+    fractions = profile.dynamic_fractions()
+    for bucket, static, fraction in zip(profile.buckets,
+                                        profile.static_instrs,
+                                        fractions):
+        rows.append([f"{bucket:,}+", static / 1000.0, 100 * fraction])
+    table = format_table(
+        ["exec count", "static instrs (K, avg/app)", "dynamic %"],
+        rows,
+        title="Fig. 3 - execution frequency profile "
+              "(100M-instruction traces, Winstone suite)")
+    notes = (
+        f"\npaper vs measured:\n"
+        f"  static working set (M_BBT)      : paper ~150K | measured "
+        f"{profile.total_static / 1000:.0f}K\n"
+        f"  static above 8000-exec threshold: paper ~3K   | measured "
+        f"{profile.static_above(8000) / 1000:.1f}K\n"
+        f"  peak dynamic bucket             : paper 10K+  | measured "
+        f"{profile.peak_dynamic_bucket():,}+ "
+        f"({100 * max(fractions):.0f}% of dynamic instrs; paper 30+%)")
+    emit("fig03_frequency_profile", table + notes)
+
+    assert 120_000 <= profile.total_static <= 190_000
+    assert 1_000 <= profile.static_above(8000) <= 9_000
+    assert profile.peak_dynamic_bucket() == 10_000
+    assert max(fractions) >= 0.30
+
+    benchmark(lambda: frequency_profile(workloads[0]))

@@ -1,0 +1,81 @@
+"""Fig. 8 — startup performance with the hardware assists.
+
+Fig. 2's comparison plus VM.be (XLTx86 backend unit) and VM.fe (dual-mode
+frontend decoders).  Paper shape targets: VM.fe shows practically zero
+startup overhead and tracks the reference curve, reaching half the
+steady-state gain around 100M cycles; VM.be lags for the first millions
+of cycles, breaks even around the 10M-cycle mark, and converges with
+VM.fe thereafter.
+"""
+
+import statistics
+
+from repro.analysis import half_gain_point, suite_average_curve
+from repro.analysis.reporting import format_table
+from repro.analysis.startup_curves import log_grid
+from repro.timing import simulate_startup
+from repro.timing.sampler import crossover_cycles, interpolate_at
+from conftest import FULL_TRACE, emit
+
+CONFIGS = ["Ref: superscalar", "VM.soft", "VM.be", "VM.fe"]
+
+
+def test_fig08_startup_assists(lab, benchmark):
+    grid = log_grid(1e4, 1e9, per_decade=2)
+    curves = {name: suite_average_curve(lab.suite_results(name),
+                                        lab.steady_ipcs(), grid)
+              for name in CONFIGS}
+
+    rows = [[f"{cycles:.0e}"] + [curves[name][index] for name in CONFIGS]
+            + [1.08]
+            for index, cycles in enumerate(grid)]
+    table = format_table(["cycles"] + CONFIGS + ["VM steady"], rows,
+                         title="Fig. 8 - startup performance with "
+                               "hardware assists (suite average)")
+
+    be_breakeven, fe_breakeven, fe_tracks = [], [], []
+    for app in lab.apps:
+        ref = lab.result(app.name, "Ref: superscalar")
+        be = lab.result(app.name, "VM.be")
+        fe = lab.result(app.name, "VM.fe")
+        be_breakeven.append(crossover_cycles(be.series, ref.series,
+                                             start=1e4))
+        fe_breakeven.append(crossover_cycles(fe.series, ref.series,
+                                             start=1e4))
+        fe_tracks.append(interpolate_at(fe.series, 1e6)
+                         / max(interpolate_at(ref.series, 1e6), 1))
+    fe_half_gain = statistics.median(
+        half_gain_point(lab.result(app.name, "VM.fe"),
+                        lab.result(app.name, "Ref: superscalar"),
+                        steady_gain=0.08)
+        for app in lab.apps)
+
+    notes = (
+        f"\npaper vs measured milestones (suite medians):\n"
+        f"  VM.be breakeven      : paper ~10M cycles | measured "
+        f"{statistics.median(be_breakeven) / 1e6:.0f}M\n"
+        f"  VM.fe breakeven      : paper ~0 (tracks ref) | measured "
+        f"{statistics.median(fe_breakeven) / 1e6:.1f}M\n"
+        f"  VM.fe instrs vs ref @1M cycles: paper ~1.0 | measured "
+        f"{statistics.median(fe_tracks):.2f}\n"
+        f"  VM.fe half-gain point: paper ~100M cycles | measured "
+        f"{fe_half_gain / 1e6:.0f}M")
+    emit("fig08_startup_assists", table + notes)
+
+    # shape assertions: assists dramatically cut startup overhead
+    soft_med = statistics.median(
+        crossover_cycles(lab.result(app.name, "VM.soft").series,
+                         lab.result(app.name,
+                                    "Ref: superscalar").series,
+                         start=1e4)
+        for app in lab.apps)
+    be_med = statistics.median(be_breakeven)
+    fe_med = statistics.median(fe_breakeven)
+    assert fe_med < be_med < soft_med
+    assert fe_med < 50e6           # "practically zero"
+    assert be_med < soft_med / 2   # large factor improvement
+    assert statistics.median(fe_tracks) > 0.8  # fe tracks the reference
+
+    workload = lab.workload("Word", FULL_TRACE)
+    config = lab.configs["VM.fe"]
+    benchmark(lambda: simulate_startup(config, workload))

@@ -1,0 +1,79 @@
+"""Fig. 9 — per-application breakeven points.
+
+For each of the ten Winstone applications: the cycles each VM
+configuration needs to catch up with the reference superscalar in total
+instructions executed.  Paper shape targets: VM.soft bars dominate the
+chart, several exceeding the 200M-cycle axis (labeled 402M/255M); either
+assist brings most applications down dramatically; *Project* does not
+break even under any VM configuration within the 500M-instruction traces
+(its steady-state gain is only +3%).
+"""
+
+import math
+import statistics
+
+from repro.analysis.breakeven import breakeven_for_app, format_breakeven
+from repro.analysis.reporting import format_table
+from repro.timing.sampler import crossover_cycles
+from conftest import FULL_TRACE, emit
+
+VM_NAMES = ["VM.soft", "VM.be", "VM.fe"]
+
+
+def _breakevens(lab):
+    table = {}
+    for app in lab.apps:
+        ref = lab.result(app.name, "Ref: superscalar")
+        table[app.name] = {
+            name: crossover_cycles(lab.result(app.name, name).series,
+                                   ref.series, start=1e4)
+            for name in VM_NAMES}
+    return table
+
+
+def test_fig09_breakeven(lab, benchmark):
+    breakevens = _breakevens(lab)
+
+    rows = [[app] + [format_breakeven(values[name])
+                     for name in VM_NAMES]
+            for app, values in breakevens.items()]
+    table = format_table(["benchmark"] + VM_NAMES, rows,
+                         title="Fig. 9 - breakeven points vs the "
+                               "reference superscalar (cycles; 'never' ="
+                               " no breakeven within the 500M trace)")
+
+    soft_values = [values["VM.soft"] for values in breakevens.values()]
+    over_200m = sum(1 for value in soft_values if value > 200e6)
+    assisted_fast = sum(
+        1 for values in breakevens.values()
+        if min(values["VM.be"], values["VM.fe"]) < 60e6)
+    notes = (
+        f"\npaper vs measured shape:\n"
+        f"  VM.soft apps beyond 200M: paper: several (402M/255M labels) "
+        f"| measured {over_200m}/10\n"
+        f"  apps where an assist breaks even within ~50M: paper: most | "
+        f"measured {assisted_fast}/10\n"
+        f"  Project: paper: no VM config breaks even | measured "
+        + ", ".join(format_breakeven(breakevens["Project"][name])
+                    for name in VM_NAMES))
+    emit("fig09_breakeven", table + notes)
+
+    # shape assertions
+    assert over_200m >= 3
+    assert assisted_fast >= 6
+    # Project's VM.soft and VM.be stay behind essentially forever
+    project = breakevens["Project"]
+    assert project["VM.soft"] > 400e6 or math.isinf(project["VM.soft"])
+    assert project["VM.be"] > 400e6 or math.isinf(project["VM.be"])
+    # assists never hurt: per-app breakeven ordering holds
+    for values in breakevens.values():
+        assert values["VM.fe"] <= values["VM.soft"]
+
+    # timed kernel: one full per-app breakeven computation
+    app = lab.apps[-1]
+    from repro.core import VM_CONFIGS, ref_superscalar
+    benchmark.pedantic(
+        lambda: breakeven_for_app(app, list(VM_CONFIGS().values()),
+                                  ref_superscalar(),
+                                  dyn_instrs=50_000_000),
+        rounds=3, iterations=1)

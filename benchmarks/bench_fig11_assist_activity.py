@@ -1,0 +1,66 @@
+"""Fig. 11 — activity of the hardware x86 decode logic over time.
+
+The fraction of cycles the x86 decoders must be powered: always-on for
+the conventional superscalar; zero for the software-only VM; decaying
+quickly after ~10K cycles for VM.be (one XLTx86 unit, busy only during
+BBT translation); decaying later for VM.fe (dual-mode decoders active
+whenever execution is in x86-mode, until hotspot coverage takes over).
+"""
+
+import statistics
+
+from repro.analysis import activity_curve
+from repro.analysis.activity import final_activity
+from repro.analysis.reporting import format_table
+from repro.analysis.startup_curves import log_grid
+from conftest import FULL_TRACE, emit
+
+CONFIGS = ["Ref: superscalar", "VM.soft", "VM.be", "VM.fe"]
+
+
+def _suite_activity(lab, config_name, grid):
+    curves = [activity_curve(lab.result(app.name, config_name), grid)
+              for app in lab.apps]
+    return [statistics.mean(values) for values in zip(*curves)]
+
+
+def test_fig11_assist_activity(lab, benchmark):
+    grid = log_grid(1e3, 1e9, per_decade=1)
+    curves = {name: _suite_activity(lab, name, grid)
+              for name in CONFIGS}
+
+    rows = [[f"{cycles:.0e}"] + [curves[name][index]
+                                 for name in CONFIGS]
+            for index, cycles in enumerate(grid)]
+    table = format_table(["cycles"] + [f"{name} %" for name in CONFIGS],
+                         rows,
+                         title="Fig. 11 - x86 decode logic activity "
+                               "(suite average, % of cycles)")
+    finals = {name: statistics.mean(
+        final_activity(lab.result(app.name, name)) for app in lab.apps)
+        for name in CONFIGS}
+    notes = (
+        f"\npaper vs measured shape:\n"
+        f"  superscalar: always on      | measured final "
+        f"{finals['Ref: superscalar']:.0f}%\n"
+        f"  VM.soft: no x86 decoders    | measured final "
+        f"{finals['VM.soft']:.0f}%\n"
+        f"  VM.be: negligible by 100M   | measured final "
+        f"{finals['VM.be']:.2f}%\n"
+        f"  VM.fe: decays later than be | measured final "
+        f"{finals['VM.fe']:.0f}%")
+    emit("fig11_assist_activity", table + notes)
+
+    assert finals["Ref: superscalar"] > 90
+    assert finals["VM.soft"] == 0
+    assert finals["VM.be"] < 2      # negligible after startup
+    assert finals["VM.be"] < finals["VM.fe"] < \
+        finals["Ref: superscalar"]
+    # both assists' activity decays over time
+    for name in ("VM.be", "VM.fe"):
+        curve = curves[name]
+        early = max(curve[:len(curve) // 2])
+        assert curve[-1] < early
+
+    result = lab.result("Word", "VM.fe", FULL_TRACE)
+    benchmark(lambda: activity_curve(result, grid))

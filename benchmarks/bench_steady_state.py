@@ -1,0 +1,88 @@
+"""Section 2 — steady-state behaviour: Winstone vs SPECint contrast.
+
+The paper's baseline VM achieves +8% steady-state IPC on the Winstone
+suite (49% of dynamic micro-ops fused) versus +18% on SPEC2000 integer
+(57% fused), attributing the difference to fusing rates and working-set
+sizes.  This bench reproduces the contrast two ways:
+
+* at the model level, from the application profiles and steady-state
+  scenario simulations;
+* at the functional level, by measuring real fused-pair fractions from
+  SBT translations executed by the micro-op machine on hot loops.
+"""
+
+import statistics
+
+from repro.analysis.reporting import format_table
+from repro.core import CoDesignedVM, vm_soft
+from repro.isa.x86lite import assemble
+from repro.timing import Scenario, simulate_startup
+from repro.workloads import generate_workload, spec_like_profile
+from repro.workloads.programs import PROGRAMS
+from conftest import emit
+
+HOT_PROGRAMS = ["fibonacci", "sieve", "matmul", "bubble_sort"]
+
+
+def _functional_fused_fractions():
+    fractions = {}
+    for name in HOT_PROGRAMS:
+        vm = CoDesignedVM(vm_soft(), hot_threshold=8)
+        vm.load(assemble(PROGRAMS[name]))
+        report = vm.run()
+        fractions[name] = report.fused_uop_fraction
+    return fractions
+
+
+def test_steady_state(lab, benchmark):
+    # model level: steady-state scenario (everything translated & warm)
+    speedups = []
+    for app in lab.apps:
+        workload = lab.workload(app.name, 100_000_000)
+        vm = simulate_startup(lab.configs["VM.soft"], workload,
+                              Scenario.STEADY_STATE)
+        speedups.append(vm.aggregate_ipc / app.ipc_ref)
+    spec = spec_like_profile()
+    spec_workload = generate_workload(spec, dyn_instrs=100_000_000,
+                                      seed=0)
+    spec_vm = simulate_startup(lab.configs["VM.soft"], spec_workload,
+                               Scenario.STEADY_STATE)
+    spec_speedup = spec_vm.aggregate_ipc / spec.ipc_ref
+
+    fused = _functional_fused_fractions()
+
+    rows = [["Winstone suite (model)", statistics.mean(speedups),
+             statistics.mean(app.fused_fraction for app in lab.apps)],
+            ["SPECint-like (model)", spec_speedup, spec.fused_fraction]]
+    table = format_table(
+        ["workload", "steady-state VM speedup", "fused micro-op frac"],
+        rows,
+        title="Section 2 - steady-state speedup and fusing contrast "
+              "(paper: Winstone +8% @49% fused, SPECint +18% @57%)")
+    func_rows = [[name, fraction] for name, fraction in fused.items()]
+    functional = format_table(
+        ["hot program (functional VM)", "measured fused fraction"],
+        func_rows,
+        title="Functional fusing rates (real SBT translations executed "
+              "on the micro-op machine)")
+    project = [s for app, s in zip(lab.apps, speedups)
+               if app.name == "Project"][0]
+    notes = (f"\nProject steady-state speedup: paper +3% | model "
+             f"{100 * (project - 1):.1f}%")
+    emit("steady_state", table + "\n\n" + functional + notes)
+
+    # Aggregates include the lukewarm tail still running as BBT code, so
+    # measured suite numbers sit slightly below the paper's hot-code
+    # steady-state IPCs (+8% Winstone / +18% SPEC / +3% Project).
+    mean_speedup = statistics.mean(speedups)
+    assert 1.02 <= mean_speedup <= 1.10
+    assert spec_speedup > mean_speedup        # paper: SPEC gains more
+    assert 1.08 <= spec_speedup <= 1.20
+    assert 0.97 <= project <= 1.05            # Project gains the least
+    assert project < mean_speedup
+    # functional fusing rates fall in the paper's reported neighborhood
+    assert statistics.mean(fused.values()) > 0.3
+    assert max(fused.values()) <= 0.75
+
+    benchmark.pedantic(_functional_fused_fractions, rounds=2,
+                       iterations=1)

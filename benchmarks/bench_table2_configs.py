@@ -1,0 +1,84 @@
+"""Table 2 — machine configurations.
+
+Prints the four simulated machine models with their pipeline/cache
+parameters and per-configuration translation strategies, and verifies
+the structural relationships the table encodes (shared substrate,
+differing cold/hot code handling).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core import ALL_CONFIGS, ref_superscalar, vm_be, vm_fe, \
+    vm_soft
+from repro.timing.pipeline import mode_costs_for
+from repro.workloads import winstone_app
+from conftest import emit
+
+
+def test_table2_configs(benchmark):
+    configs = [ref_superscalar(), vm_soft(), vm_be(), vm_fe()]
+    rows = []
+    for config in configs:
+        costs = config.costs
+        rows.append([
+            config.name,
+            config.initial_emulation,
+            costs.bbt_cycles_per_instr
+            if costs.bbt_cycles_per_instr else "-",
+            "software SBT" if config.is_vm else "-",
+            config.hot_threshold if config.is_vm else "-",
+        ])
+    strategy = format_table(
+        ["configuration", "cold x86 code", "BBT cyc/instr",
+         "hotspot x86 code", "hot threshold"],
+        rows, title="Table 2 - machine configurations: translation "
+                    "strategies")
+
+    base = configs[0]
+    substrate = format_table(
+        ["parameter", "value (all configurations)"],
+        [
+            ["pipeline width", f"{base.pipeline.width}-wide"],
+            ["fetch", f"{base.pipeline.fetch_bytes}B"],
+            ["issue queue / ROB", f"{base.pipeline.issue_queue_slots} / "
+                                  f"{base.pipeline.rob_entries}"],
+            ["LD/ST queues", f"{base.pipeline.load_queue_slots} / "
+                             f"{base.pipeline.store_queue_slots}"],
+            ["physical registers", base.pipeline.physical_registers],
+            ["L1 I-cache", f"{base.l1i.size // 1024}KB {base.l1i.assoc}-"
+                           f"way {base.l1i.line_size}B, "
+                           f"{base.l1i.latency} cyc"],
+            ["L1 D-cache", f"{base.l1d.size // 1024}KB {base.l1d.assoc}-"
+                           f"way, {base.l1d.latency} cyc"],
+            ["L2", f"{base.l2.size // (1024 * 1024)}MB {base.l2.assoc}-"
+                   f"way, {base.l2.latency} cyc"],
+            ["memory latency", f"{base.memory_latency} cyc"],
+        ],
+        title="Table 2 - shared microarchitecture substrate")
+
+    app = winstone_app("Word")
+    cpi_rows = []
+    for config in configs:
+        costs = mode_costs_for(config, app)
+        cpi_rows.append([config.name,
+                         1.0 / costs.cold_execution_cpi(
+                             config.initial_emulation),
+                         1.0 / costs.sbt_cpi if config.is_vm else "-"])
+    cpis = format_table(
+        ["configuration", "cold-code IPC (Word)", "hotspot IPC (Word)"],
+        cpi_rows, title="Derived steady execution rates")
+
+    emit("table2_configs", strategy + "\n\n" + substrate + "\n\n" + cpis)
+
+    # structural assertions
+    for config in configs[1:]:
+        assert config.l1i == base.l1i and config.l2 == base.l2
+        assert config.pipeline.width == base.pipeline.width
+    assert vm_soft().costs.bbt_cycles_per_instr == 83.0
+    assert vm_be().costs.bbt_cycles_per_instr == 20.0
+    assert vm_fe().costs.bbt_cycles_per_instr is None
+    assert all(config.hot_threshold == 8000 for config in configs[1:])
+    assert len(ALL_CONFIGS()) == 5
+
+    benchmark(lambda: mode_costs_for(vm_be(), app))

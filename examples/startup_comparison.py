@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Startup comparison: regenerate the paper's Fig. 8 for one application.
+
+Simulates the memory-startup scenario (Section 3.1, scenario 2) for the
+reference superscalar and the three VM configurations on a Winstone-like
+application model at full 500M-instruction scale, then prints the
+normalized aggregate-IPC curves and breakeven points.
+
+Run:  python examples/startup_comparison.py [app-name]
+"""
+
+import sys
+
+from repro import (
+    generate_workload,
+    interp_sbt,
+    ref_superscalar,
+    simulate_startup,
+    vm_be,
+    vm_fe,
+    vm_soft,
+    winstone_app,
+)
+from repro.analysis import normalized_curve
+from repro.analysis.breakeven import format_breakeven
+from repro.analysis.reporting import format_table
+from repro.analysis.startup_curves import log_grid
+from repro.timing.sampler import crossover_cycles
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "Word"
+    app = winstone_app(app_name)
+    print(f"app model: {app.name} (static working set "
+          f"{app.static_instrs // 1000}K instrs, ref IPC {app.ipc_ref}, "
+          f"VM steady speedup +{100 * (app.vm_speedup - 1):.0f}%)")
+    workload = generate_workload(app, dyn_instrs=500_000_000, seed=0)
+    print(f"workload: {len(workload.regions)} regions, "
+          f"{len(workload.episodes)} episodes, "
+          f"{workload.total_dynamic_instrs / 1e6:.0f}M dynamic instrs\n")
+
+    configs = [ref_superscalar(), vm_soft(), vm_be(), vm_fe(),
+               interp_sbt()]
+    results = {config.name: simulate_startup(config, workload)
+               for config in configs}
+
+    grid = log_grid(1e4, 1e9, per_decade=2)
+    names = [config.name for config in configs]
+    curves = {name: normalized_curve(results[name], app.ipc_ref, grid)
+              for name in names}
+    rows = [[f"{cycles:.0e}"] + [curves[name][index] for name in names]
+            for index, cycles in enumerate(grid)]
+    print(format_table(["cycles"] + names, rows,
+                       title="normalized aggregate IPC over time "
+                             "(memory-startup scenario)"))
+
+    reference = results["Ref: superscalar"]
+    print("\nbreakeven vs the reference superscalar:")
+    for name in names[1:]:
+        point = crossover_cycles(results[name].series, reference.series,
+                                 start=1e4)
+        print(f"  {name:18s} {format_breakeven(point)} cycles")
+    print("\nhotspot coverage (VM.soft): "
+          f"{results['VM.soft'].hotspot_coverage:.0%}"
+          "   (paper: 75+% at 500M instructions)")
+
+
+if __name__ == "__main__":
+    main()

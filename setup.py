@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has no ``wheel`` package, so ``pip install -e .``
+falls back to this legacy path (``--no-use-pep517`` works too).  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

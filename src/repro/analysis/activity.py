@@ -1,0 +1,63 @@
+"""Hardware x86-decoder activity over time — Fig. 11.
+
+Activity is the fraction of cycles the x86 decode logic must be powered:
+
+* the conventional superscalar decodes x86 continuously (100%);
+* VM.soft has no hardware x86 decoders at all (0%);
+* VM.be powers the XLTx86 unit only while the BBT loop runs — its
+  activity collapses once the working set is translated;
+* VM.fe's dual-mode decoders are active whenever the pipeline executes in
+  x86-mode, so activity decays as hotspot coverage grows — later than
+  VM.be, as the paper notes.
+
+The simulator tracks decoder-busy cycles on the sampler's aux channel;
+this module turns them into the cumulative-activity-percentage series the
+figure plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.timing.startup_sim import StartupResult
+
+
+def activity_curve(result: StartupResult,
+                   grid: Sequence[float]) -> List[float]:
+    """Aggregate decoder activity (busy cycles / total cycles) at each
+    grid point, in percent."""
+    series = result.series
+    out = []
+    for cycles in grid:
+        busy = _interpolate(series.cycles, series.aux, cycles)
+        effective = min(cycles, result.total_cycles)
+        out.append(100.0 * busy / effective if effective else 0.0)
+    return out
+
+
+def _interpolate(points: Sequence[float], values: Sequence[float],
+                 at: float) -> float:
+    if not points or at <= 0:
+        return 0.0
+    if at <= points[0]:
+        return values[0] * at / points[0] if points[0] else 0.0
+    if at >= points[-1]:
+        return values[-1]
+    low, high = 0, len(points) - 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if points[mid] <= at:
+            low = mid
+        else:
+            high = mid
+    span = points[high] - points[low]
+    fraction = (at - points[low]) / span if span else 0.0
+    return values[low] + fraction * (values[high] - values[low])
+
+
+def final_activity(result: StartupResult) -> float:
+    """Activity percentage over the whole run."""
+    if not result.total_cycles:
+        return 0.0
+    return 100.0 * result.series.aux[-1] / result.total_cycles \
+        if result.series.aux else 0.0

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run PROGRAM.asm [--config NAME] [--hot-threshold N]`` — assemble and
+  run an x86lite program on the functional VM, print its output and the
+  execution report.
+* ``startup [--app NAME] [--instrs N]`` — simulate the memory-startup
+  scenario for one application under all configurations; print the
+  normalized curves and breakeven points (Fig. 8 style).
+* ``breakeven [--instrs N]`` — the full Fig. 9 per-application table.
+* ``profile [--instrs N]`` — the Fig. 3 execution-frequency profile.
+* ``configs`` — list the machine configurations (Table 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import normalized_curve
+from repro.analysis.breakeven import format_breakeven
+from repro.analysis.frequency_profile import suite_frequency_profile
+from repro.analysis.reporting import format_table
+from repro.analysis.startup_curves import log_grid
+from repro.core import ALL_CONFIGS, CoDesignedVM
+from repro.isa.x86lite import assemble
+from repro.timing import simulate_startup
+from repro.timing.sampler import crossover_cycles
+from repro.workloads import generate_workload, winstone_app, \
+    winstone_suite
+
+
+def _config_by_name(name: str):
+    configs = ALL_CONFIGS()
+    if name in configs:
+        return configs[name]
+    # forgiving aliases: soft / be / fe / ref / interp
+    aliases = {"ref": "Ref: superscalar", "soft": "VM.soft",
+               "be": "VM.be", "fe": "VM.fe",
+               "interp": "VM: Interp & SBT"}
+    if name in aliases:
+        return configs[aliases[name]]
+    raise SystemExit(f"unknown configuration {name!r}; choose from "
+                     f"{sorted(configs) + sorted(aliases)}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.program) as handle:
+        source = handle.read()
+    config = _config_by_name(args.config)
+    vm = CoDesignedVM(config, hot_threshold=args.hot_threshold)
+    vm.load(assemble(source))
+    report = vm.run(max_instructions=args.max_instructions)
+    for item in report.output:
+        print(item)
+    print()
+    print(report.summary())
+    return report.exit_code or 0
+
+
+def cmd_startup(args: argparse.Namespace) -> int:
+    app = winstone_app(args.app)
+    workload = generate_workload(app, dyn_instrs=args.instrs,
+                                 seed=args.seed)
+    configs = ALL_CONFIGS()
+    results = {name: simulate_startup(config, workload)
+               for name, config in configs.items()}
+    grid = log_grid(1e4, max(r.total_cycles
+                             for r in results.values()), per_decade=2)
+    names = list(configs)
+    rows = [[f"{cycles:.0e}"]
+            + [normalized_curve(results[name], app.ipc_ref,
+                                [cycles])[0] for name in names]
+            for cycles in grid]
+    print(format_table(["cycles"] + names, rows,
+                       title=f"{app.name}: normalized aggregate IPC "
+                             f"(memory startup, {args.instrs:,} instrs)"))
+    reference = results["Ref: superscalar"]
+    print("\nbreakeven vs reference:")
+    for name in names[1:]:
+        point = crossover_cycles(results[name].series,
+                                 reference.series, start=1e4)
+        print(f"  {name:18s} {format_breakeven(point)}")
+    return 0
+
+
+def cmd_breakeven(args: argparse.Namespace) -> int:
+    configs = ALL_CONFIGS()
+    vm_names = ["VM.soft", "VM.be", "VM.fe"]
+    rows = []
+    for app in winstone_suite():
+        workload = generate_workload(app, dyn_instrs=args.instrs,
+                                     seed=args.seed)
+        reference = simulate_startup(configs["Ref: superscalar"],
+                                     workload)
+        row = [app.name]
+        for name in vm_names:
+            result = simulate_startup(configs[name], workload)
+            row.append(format_breakeven(crossover_cycles(
+                result.series, reference.series, start=1e4)))
+        rows.append(row)
+    print(format_table(["benchmark"] + vm_names, rows,
+                       title="breakeven points (Fig. 9)"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    workloads = [generate_workload(app, dyn_instrs=args.instrs,
+                                   seed=args.seed)
+                 for app in winstone_suite()]
+    profile = suite_frequency_profile(workloads)
+    rows = [[f"{bucket:,}+", static / 1000, 100 * fraction]
+            for bucket, static, fraction
+            in zip(profile.buckets, profile.static_instrs,
+                   profile.dynamic_fractions())]
+    print(format_table(
+        ["exec count", "static instrs (K)", "dynamic %"], rows,
+        title="execution frequency profile (Fig. 3)"))
+    print(f"\nstatic above 8000-exec threshold: "
+          f"{profile.static_above(8000) / 1000:.1f}K")
+    return 0
+
+
+def cmd_configs(_args: argparse.Namespace) -> int:
+    rows = []
+    for name, config in ALL_CONFIGS().items():
+        costs = config.costs
+        rows.append([name, config.initial_emulation,
+                     config.hot_threshold if config.is_vm else "-",
+                     costs.bbt_cycles_per_instr or "-",
+                     config.hotspot_detector])
+    print(format_table(
+        ["configuration", "cold code", "hot threshold",
+         "BBT cyc/instr", "hot detection"], rows,
+        title="machine configurations (Table 2)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Co-designed VM startup-time study "
+                    "(Hu & Smith, ISCA 2006)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an x86lite program")
+    run.add_argument("program", help="assembly source file")
+    run.add_argument("--config", default="soft")
+    run.add_argument("--hot-threshold", type=int, default=None)
+    run.add_argument("--max-instructions", type=int, default=10_000_000)
+    run.set_defaults(func=cmd_run)
+
+    startup = sub.add_parser("startup",
+                             help="startup curves for one application")
+    startup.add_argument("--app", default="Word")
+    startup.add_argument("--instrs", type=int, default=500_000_000)
+    startup.add_argument("--seed", type=int, default=0)
+    startup.set_defaults(func=cmd_startup)
+
+    breakeven = sub.add_parser("breakeven",
+                               help="Fig. 9 per-app breakeven table")
+    breakeven.add_argument("--instrs", type=int, default=500_000_000)
+    breakeven.add_argument("--seed", type=int, default=0)
+    breakeven.set_defaults(func=cmd_breakeven)
+
+    profile = sub.add_parser("profile",
+                             help="Fig. 3 frequency profile")
+    profile.add_argument("--instrs", type=int, default=100_000_000)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(func=cmd_profile)
+
+    configs = sub.add_parser("configs", help="list configurations")
+    configs.set_defaults(func=cmd_configs)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Public facade of the co-designed VM (the paper's system under study).
+
+:class:`~repro.core.vm.CoDesignedVM` runs x86lite programs under any of
+the paper's machine configurations (Table 2): the reference superscalar,
+VM.soft, VM.be, VM.fe — plus the Interp+SBT strategy of Fig. 2.
+"""
+
+from repro.core.config import (
+    CacheConfig,
+    MachineConfig,
+    PipelineConfig,
+    TranslationCosts,
+    interp_sbt,
+    ref_superscalar,
+    vm_be,
+    vm_fe,
+    vm_soft,
+    ALL_CONFIGS,
+    VM_CONFIGS,
+)
+from repro.core.stats import ExecutionReport
+from repro.core.vm import CoDesignedVM
+
+__all__ = [
+    "ALL_CONFIGS", "CacheConfig", "CoDesignedVM", "ExecutionReport",
+    "MachineConfig", "PipelineConfig", "TranslationCosts", "VM_CONFIGS",
+    "interp_sbt", "ref_superscalar", "vm_be", "vm_fe", "vm_soft",
+]

@@ -1,0 +1,56 @@
+"""Execution reports for functional VM runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of running one program under one machine configuration."""
+
+    config_name: str
+    exit_code: Optional[int]
+    output: List[object] = field(default_factory=list)
+    #: instructions executed through the interpreter (all of them for the
+    #: reference configuration; cold/complex-instruction counts for VMs)
+    instructions_interpreted: int = 0
+    #: micro-ops executed natively out of the code caches
+    uops_executed: int = 0
+    fused_pairs_executed: int = 0
+    blocks_translated: int = 0
+    superblocks_translated: int = 0
+    bbt_instrs_translated: int = 0
+    sbt_instrs_translated: int = 0
+    pairs_fused: int = 0
+    chains_made: int = 0
+    vm_exits: int = 0
+    interp_one_calls: int = 0
+    profile_calls: int = 0
+    bbt_flushes: int = 0
+    sbt_flushes: int = 0
+    xltx86_invocations: int = 0
+
+    @property
+    def fused_uop_fraction(self) -> float:
+        """Fraction of dynamic micro-ops that executed inside fused pairs
+        (the paper reports 49% for Winstone, 57% for SPECint steady
+        state)."""
+        if not self.uops_executed:
+            return 0.0
+        return 2.0 * self.fused_pairs_executed / self.uops_executed
+
+    def summary(self) -> str:
+        lines = [f"=== {self.config_name} ===",
+                 f"exit code:            {self.exit_code}",
+                 f"interpreted instrs:   {self.instructions_interpreted}",
+                 f"native micro-ops:     {self.uops_executed}",
+                 f"fused pair fraction:  {self.fused_uop_fraction:.1%}",
+                 f"BBT blocks:           {self.blocks_translated}",
+                 f"SBT superblocks:      {self.superblocks_translated}",
+                 f"chains made:          {self.chains_made}",
+                 f"VM exits:             {self.vm_exits}"]
+        if self.xltx86_invocations:
+            lines.append(f"XLTx86 invocations:   {self.xltx86_invocations}")
+        return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""CoDesignedVM — run x86lite programs under any machine configuration.
+
+This is the primary entry point of the library::
+
+    from repro import CoDesignedVM, assemble, vm_soft
+
+    image = assemble(SOURCE)
+    vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+    vm.load(image)
+    report = vm.run()
+
+The same program produces the same architected results under every
+configuration (the cross-configuration tests enforce this); what differs
+is *how* the work is done — interpretation, BBT translations, superblocks
+with fused macro-ops — and therefore the startup cost profile that the
+timing layer (:mod:`repro.timing`) models at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MachineConfig, vm_soft
+from repro.core.stats import ExecutionReport
+from repro.hwassist.hotspot_detector import BranchBehaviorBuffer
+from repro.hwassist.xltx86 import XLTx86Unit
+from repro.interp.interpreter import Interpreter
+from repro.isa.x86lite.registers import Reg
+from repro.isa.x86lite.state import X86State
+from repro.memory.address_space import AddressSpace
+from repro.memory.loader import DEFAULT_STACK_TOP, Image, load_image
+from repro.vmm.profiling import SoftwareProfiler
+from repro.vmm.runtime import VMRuntime
+
+
+class CoDesignedVM:
+    """One machine instance: a configuration plus architected state."""
+
+    def __init__(self, config: Optional[MachineConfig] = None,
+                 hot_threshold: Optional[int] = None) -> None:
+        self.config = config if config is not None else vm_soft()
+        if hot_threshold is not None:
+            self.config = self.config.with_(hot_threshold=hot_threshold)
+        self.state = X86State(memory=AddressSpace())
+        self.state.regs[Reg.ESP] = DEFAULT_STACK_TOP
+        self.runtime: Optional[VMRuntime] = None
+        self.xlt_unit: Optional[XLTx86Unit] = None
+        self._loaded = False
+        self._image: Optional[Image] = None
+
+    # -- setup ------------------------------------------------------------
+
+    def load(self, image: Image) -> None:
+        """Load a program image (scenario 1's disk-to-memory step)."""
+        self._image = image
+        self.state.eip = load_image(image, self.state.memory)
+        self._loaded = True
+        if self.config.is_vm:
+            self.runtime = self._build_runtime()
+
+    def restart(self, warm: bool = True) -> None:
+        """Rewind the program for another run.
+
+        ``warm=True`` models the paper's short-context-switch resume
+        (scenario 3): architected state and program memory are reset,
+        but the code caches, chains and profiling survive, so the second
+        run needs no re-translation.  ``warm=False`` models a major
+        context switch with evicted translations (scenario 2 again).
+        """
+        if not self._loaded:
+            raise RuntimeError("no image loaded")
+        registers = self.state.regs
+        for index in range(len(registers)):
+            registers[index] = 0
+        registers[Reg.ESP] = DEFAULT_STACK_TOP
+        self.state.cf = self.state.zf = False
+        self.state.sf = self.state.of = False
+        self.state.halted = False
+        self.state.exit_code = None
+        self.state.output.clear()
+        # restore program text+data exactly (the previous run may have
+        # written data segments); code caches live elsewhere
+        self.state.eip = load_image(self._image, self.state.memory)
+        if self.config.is_vm:
+            if warm and self.runtime is not None:
+                self.runtime.interp.invalidate_decodes()
+            else:
+                self.runtime = self._build_runtime()
+
+    def _build_runtime(self) -> VMRuntime:
+        config = self.config
+        if config.hotspot_detector == "bbb":
+            profiler = BranchBehaviorBuffer(config.hot_threshold)
+        else:
+            profiler = SoftwareProfiler(config.hot_threshold)
+        runtime = VMRuntime(
+            self.state,
+            hot_threshold=config.hot_threshold,
+            initial_emulation=config.initial_emulation,
+            profiler=profiler,
+            superblock_bias=config.superblock_bias,
+            max_superblock_instrs=config.max_superblock_instrs,
+            enable_fusion=config.enable_fusion,
+            enable_chaining=config.enable_chaining)
+        if config.mode == "be":
+            # route the BBT's decode/crack step through the XLTx86 unit
+            self.xlt_unit = XLTx86Unit()
+            runtime.bbt.xlt_unit = self.xlt_unit
+        return runtime
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000,
+            max_uops: int = 50_000_000) -> ExecutionReport:
+        """Run the loaded program to completion; returns a report."""
+        if not self._loaded:
+            raise RuntimeError("no image loaded")
+        if not self.config.is_vm:
+            interp = Interpreter(self.state)
+            interp.run(max_instructions)
+            return ExecutionReport(
+                config_name=self.config.name,
+                exit_code=self.state.exit_code,
+                output=list(self.state.output),
+                instructions_interpreted=interp.instructions_executed)
+
+        runtime = self.runtime
+        runtime.run(max_uops=max_uops)
+        stats = runtime.stats()
+        return ExecutionReport(
+            config_name=self.config.name,
+            exit_code=self.state.exit_code,
+            output=list(self.state.output),
+            instructions_interpreted=stats["instructions_interpreted"],
+            uops_executed=stats["uops_executed"],
+            fused_pairs_executed=stats["fused_pairs_seen"],
+            blocks_translated=stats["blocks_translated"],
+            superblocks_translated=stats["superblocks_translated"],
+            bbt_instrs_translated=stats["bbt_instrs_translated"],
+            sbt_instrs_translated=stats["sbt_instrs_translated"],
+            pairs_fused=stats["pairs_fused"],
+            chains_made=stats["chains_made"],
+            vm_exits=stats["vm_exits"],
+            interp_one_calls=stats["interp_one_calls"],
+            profile_calls=stats["profile_calls"],
+            bbt_flushes=stats["bbt_flushes"],
+            sbt_flushes=stats["sbt_flushes"],
+            xltx86_invocations=(self.xlt_unit.invocations
+                                if self.xlt_unit else 0))
+
+
+def run_program(source_or_image, config: Optional[MachineConfig] = None,
+                hot_threshold: Optional[int] = None,
+                max_instructions: int = 10_000_000) -> ExecutionReport:
+    """Convenience one-shot: assemble (if needed), load, run."""
+    from repro.isa.x86lite.assembler import assemble
+    image = (assemble(source_or_image)
+             if isinstance(source_or_image, str) else source_or_image)
+    vm = CoDesignedVM(config, hot_threshold=hot_threshold)
+    vm.load(image)
+    return vm.run(max_instructions=max_instructions)

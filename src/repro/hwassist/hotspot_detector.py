@@ -1,0 +1,79 @@
+"""Hardware hotspot detection — a Merten-style branch behavior buffer.
+
+VM.fe executes cold code in x86-mode, so there is no BBT code to carry
+software profiling counters.  Following the paper (and Merten et al.,
+"An Architectural Framework for Runtime Optimization"), a small buffer
+after the retire stage counts executions of branch-target addresses and
+raises a hotspot event when a counter crosses the hot threshold.
+
+The buffer has finite capacity with LRU-like replacement, which makes it
+an *approximate* detector — a deliberate difference from the exact
+software counters that the tests pin down.  It exposes the same
+``record_entry`` / ``take_hot`` surface as
+:class:`repro.vmm.profiling.SoftwareProfiler`, so the VMM runtime is
+agnostic about which detector a configuration uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+#: Entry count of the branch behavior buffer (Merten et al. used 4K).
+DEFAULT_BBB_ENTRIES = 4096
+
+
+class BranchBehaviorBuffer:
+    """Finite-capacity execution-count table with replacement."""
+
+    def __init__(self, hot_threshold: int,
+                 entries: int = DEFAULT_BBB_ENTRIES) -> None:
+        if entries < 1:
+            raise ValueError("BBB needs at least one entry")
+        self.hot_threshold = hot_threshold
+        self.capacity = entries
+        self._table: "OrderedDict[int, int]" = OrderedDict()
+        self._hot_pending: List[int] = []
+        self._hot_reported: set = set()
+        self.replacements = 0
+
+    def record_entry(self, block_addr: int, count: int = 1) -> None:
+        """Count executions of a block entry (a retired branch target)."""
+        if block_addr in self._table:
+            self._table.move_to_end(block_addr)
+            self._table[block_addr] += count
+        else:
+            if len(self._table) >= self.capacity:
+                self._table.popitem(last=False)  # evict coldest-recent
+                self.replacements += 1
+            self._table[block_addr] = count
+        if self._table[block_addr] >= self.hot_threshold and \
+                block_addr not in self._hot_reported:
+            self._hot_reported.add(block_addr)
+            self._hot_pending.append(block_addr)
+
+    def record_edge(self, source: int, target: int, count: int = 1) -> None:
+        """Edges are not tracked in hardware; superblock formation in
+        VM.fe falls back to static next-block heuristics."""
+
+    def take_hot(self) -> Optional[int]:
+        if self._hot_pending:
+            return self._hot_pending.pop(0)
+        return None
+
+    def is_hot(self, block_addr: int) -> bool:
+        return self._table.get(block_addr, 0) >= self.hot_threshold
+
+    def forget(self, block_addr: int) -> None:
+        self._table.pop(block_addr, None)
+        self._hot_reported.discard(block_addr)
+
+    def reset(self) -> None:
+        self._table.clear()
+        self._hot_pending.clear()
+        self._hot_reported.clear()
+        self.replacements = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._table)

@@ -1,0 +1,5 @@
+"""Architected-ISA interpreter (decode-and-execute emulation)."""
+
+from repro.interp.interpreter import Interpreter, InterpreterLimit
+
+__all__ = ["Interpreter", "InterpreterLimit"]

@@ -1,0 +1,78 @@
+"""Decode-and-execute interpreter for x86lite.
+
+Three roles, mirroring the paper:
+
+1. Initial emulation engine for the *Interp + SBT* staged configuration
+   (the strategy of Transmeta Crusoe / early DAISY, evaluated in Fig. 2).
+2. Reference semantics for differential testing of every translation path.
+3. Precise-state reconstruction: the VMM re-interprets from a block entry
+   to an exception point to materialize exact architected state (Fig. 1b).
+
+The interpreter optionally caches decoded instructions; the paper's
+emulation-speed discussion (10–100x slower than native) refers to real
+interpreters that re-dispatch per instruction, which our *timing* model
+accounts for separately via cycles-per-instruction costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.isa.x86lite.decoder import decode
+from repro.isa.x86lite.instruction import Instruction, MAX_INSTRUCTION_LENGTH
+from repro.isa.x86lite.semantics import execute
+from repro.isa.x86lite.state import X86State
+
+
+class InterpreterLimit(Exception):
+    """Raised when a step budget is exhausted (runaway-program guard)."""
+
+
+class Interpreter:
+    """Instruction-at-a-time emulator for x86lite programs."""
+
+    def __init__(self, state: X86State, cache_decodes: bool = True,
+                 on_instruction: Optional[Callable[[Instruction], None]]
+                 = None) -> None:
+        self.state = state
+        self.instructions_executed = 0
+        self._cache_decodes = cache_decodes
+        self._decode_cache: Dict[int, Instruction] = {}
+        #: Observer invoked with each decoded instruction before execution;
+        #: used by profiling and by the hardware hotspot-detector models.
+        self.on_instruction = on_instruction
+
+    def fetch_decode(self, addr: int) -> Instruction:
+        """Fetch and decode the instruction at ``addr``."""
+        if self._cache_decodes:
+            cached = self._decode_cache.get(addr)
+            if cached is not None:
+                return cached
+        window = self.state.memory.read(addr, MAX_INSTRUCTION_LENGTH)
+        instr = decode(window, addr=addr)
+        if self._cache_decodes:
+            self._decode_cache[addr] = instr
+        return instr
+
+    def invalidate_decodes(self) -> None:
+        """Drop cached decodes (after self-modifying-code writes)."""
+        self._decode_cache.clear()
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns the decoded instruction."""
+        instr = self.fetch_decode(self.state.eip)
+        if self.on_instruction is not None:
+            self.on_instruction(instr)
+        execute(instr, self.state)
+        self.instructions_executed += 1
+        return instr
+
+    def run(self, max_instructions: int = 10_000_000) -> int:
+        """Run until HLT/exit; returns the number of instructions executed."""
+        start = self.instructions_executed
+        while not self.state.halted:
+            if self.instructions_executed - start >= max_instructions:
+                raise InterpreterLimit(
+                    f"exceeded {max_instructions} instructions")
+            self.step()
+        return self.instructions_executed - start

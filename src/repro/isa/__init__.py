@@ -1,0 +1,8 @@
+"""Instruction-set architectures of the co-designed VM.
+
+``repro.isa.x86lite`` is the *architected* ISA — the conventional, legacy
+CISC instruction set that binaries are compiled to (a faithful structural
+subset of IA-32).  ``repro.isa.fusible`` is the *implementation* ISA — the
+16-bit/32-bit fusible micro-op set that the co-designed hardware executes
+natively (after Hu & Smith, HPCA 2006).
+"""

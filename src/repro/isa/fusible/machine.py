@@ -1,0 +1,394 @@
+"""Functional model of the native (implementation-ISA) machine.
+
+Executes encoded micro-op streams out of memory — in the VM, that memory is
+the concealed code cache.  Execution proceeds until a *VM exit event*:
+
+* ``VMEXIT``  — translated code ran off its translation; the architected
+  continuation address is in a register (exit stubs build it with
+  LUI/ORI).  The VMM dispatch loop takes over.
+* ``VMCALL`` — translated code reached a complex architected instruction
+  (REP string op, DIV, INT, HLT) that the translators off-load to VMM
+  software, exactly like the hardware assists' ``Flag_cmplx`` escape.
+* ``HALT``   — the native machine stops (used by bare-metal demos).
+
+The machine also implements the ``XLTX86`` instruction (Table 1): it
+delegates to :mod:`repro.hwassist.xltx86` so the backend functional unit
+and this executable model are the same hardware by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.fusible.encoding import UopDecodeError, decode_uop
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.fusible.registers import FREG_BYTES, NFREGS, NREGS, R_ZERO
+from repro.isa.x86lite.registers import cond_holds
+from repro.memory.address_space import AddressSpace
+
+MASK32 = 0xFFFFFFFF
+SIGN32 = 0x80000000
+
+
+class NativeMachineError(Exception):
+    """Raised on malformed native code or exhausted step budgets."""
+
+
+@dataclass
+class ExitEvent:
+    """Why the native machine stopped executing translated code."""
+
+    kind: str                 # 'vmexit' | 'vmcall' | 'halt'
+    value: int = 0            # x86 target (vmexit) or service id (vmcall)
+    native_pc: int = 0        # address of the exiting micro-op
+    resume_pc: int = 0        # address of the following micro-op
+
+
+def _sext32(value: int) -> int:
+    value &= MASK32
+    return value - 0x100000000 if value & SIGN32 else value
+
+
+class FusibleMachine:
+    """Executes fusible-ISA micro-op code from an address space."""
+
+    def __init__(self, memory: AddressSpace) -> None:
+        self.memory = memory
+        self.regs: List[int] = [0] * NREGS
+        self.fregs: List[bytearray] = [bytearray(FREG_BYTES)
+                                       for _ in range(NFREGS)]
+        self.cf = self.zf = self.sf = self.of = False
+        self.pc = 0
+        # CSR fields written by XLTX86 (widened to 5-bit byte counts; see
+        # repro.hwassist.xltx86 for the documented deviation from Fig. 6b).
+        self.csr_ilen = 0
+        self.csr_uop_bytes = 0
+        self.csr_cmplx = False
+        self.csr_cti = False
+        # statistics
+        self.uops_executed = 0
+        self.fused_pairs_seen = 0
+        self.uop_bytes_fetched = 0
+
+    # -- register helpers -----------------------------------------------------
+
+    def get_reg(self, index: int) -> int:
+        return 0 if index == R_ZERO else self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index != R_ZERO:
+            self.regs[index] = value & MASK32
+
+    @property
+    def csr(self) -> int:
+        """Packed CSR (Fig. 6b, with 5-bit byte-count fields)."""
+        return (self.csr_ilen | (self.csr_uop_bytes << 5)
+                | (int(self.csr_cmplx) << 10) | (int(self.csr_cti) << 11))
+
+    def flags_packed(self) -> int:
+        return (int(self.cf) | (int(self.zf) << 1) | (int(self.sf) << 2)
+                | (int(self.of) << 3))
+
+    def set_flags_packed(self, value: int) -> None:
+        self.cf = bool(value & 1)
+        self.zf = bool(value & 2)
+        self.sf = bool(value & 4)
+        self.of = bool(value & 8)
+
+    # -- flag computation (32-bit x86-style) ---------------------------------
+
+    def _flags_add(self, a: int, b: int, carry: int) -> int:
+        raw = (a & MASK32) + (b & MASK32) + carry
+        result = raw & MASK32
+        self.cf = raw > MASK32
+        self.zf = result == 0
+        self.sf = bool(result & SIGN32)
+        self.of = bool((~(a ^ b) & (a ^ result)) & SIGN32)
+        return result
+
+    def _flags_sub(self, a: int, b: int, borrow: int) -> int:
+        raw = (a & MASK32) - (b & MASK32) - borrow
+        result = raw & MASK32
+        self.cf = raw < 0
+        self.zf = result == 0
+        self.sf = bool(result & SIGN32)
+        self.of = bool(((a ^ b) & (a ^ result)) & SIGN32)
+        return result
+
+    def _flags_logic(self, result: int) -> int:
+        result &= MASK32
+        self.cf = self.of = False
+        self.zf = result == 0
+        self.sf = bool(result & SIGN32)
+        return result
+
+    # -- ALU bodies -----------------------------------------------------------
+
+    def _alu(self, op: UOp, a: int, b: int, setflags: bool) -> int:
+        """Shared ALU for register and immediate forms."""
+        if op in (UOp.ADD, UOp.ADDI, UOp.ADD2, UOp.ADDI2):
+            return (self._flags_add(a, b, 0) if setflags
+                    else (a + b) & MASK32)
+        if op is UOp.ADC:
+            carry = int(self.cf)
+            return (self._flags_add(a, b, carry) if setflags
+                    else (a + b + carry) & MASK32)
+        if op in (UOp.SUB, UOp.SUBI, UOp.SUB2):
+            return (self._flags_sub(a, b, 0) if setflags
+                    else (a - b) & MASK32)
+        if op is UOp.SBB:
+            borrow = int(self.cf)
+            return (self._flags_sub(a, b, borrow) if setflags
+                    else (a - b - borrow) & MASK32)
+        if op in (UOp.AND, UOp.ANDI, UOp.AND2):
+            result = a & b
+        elif op in (UOp.OR, UOp.ORI, UOp.OR2):
+            result = a | b
+        elif op in (UOp.XOR, UOp.XORI, UOp.XOR2):
+            result = a ^ b
+        elif op in (UOp.SHL, UOp.SHLI, UOp.SHR, UOp.SHRI, UOp.SAR,
+                    UOp.SARI):
+            return self._shift(op, a, b & 31, setflags)
+        else:  # pragma: no cover - dispatch is exhaustive
+            raise NativeMachineError(f"non-ALU op {op!r}")
+        return self._flags_logic(result) if setflags else result & MASK32
+
+    def _shift(self, op: UOp, a: int, count: int, setflags: bool) -> int:
+        a &= MASK32
+        if count == 0:
+            return a
+        if op in (UOp.SHL, UOp.SHLI):
+            result = (a << count) & MASK32
+            cf = bool((a >> (32 - count)) & 1)
+            of = (bool(result & SIGN32) != cf) if count == 1 else self.of
+        elif op in (UOp.SHR, UOp.SHRI):
+            result = a >> count
+            cf = bool((a >> (count - 1)) & 1)
+            of = bool(a & SIGN32) if count == 1 else self.of
+        else:
+            signed_a = _sext32(a)
+            result = (signed_a >> count) & MASK32
+            cf = bool((signed_a >> (count - 1)) & 1)
+            of = False if count == 1 else self.of
+        if setflags:
+            self.cf, self.of = cf, of
+            self.zf = result == 0
+            self.sf = bool(result & SIGN32)
+        return result
+
+    # -- memory helpers ----------------------------------------------------------
+
+    def _ea(self, uop: MicroOp) -> int:
+        return (self.get_reg(uop.rs1) + uop.imm) & MASK32
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> Optional[ExitEvent]:
+        """Execute one micro-op from memory; returns ExitEvent on VM exit."""
+        window = self.memory.read(self.pc, 4)
+        try:
+            uop = decode_uop(window)
+        except UopDecodeError as exc:
+            raise NativeMachineError(f"bad native code at {self.pc:#x}: "
+                                     f"{exc}") from exc
+        native_pc = self.pc
+        next_pc = native_pc + uop.length
+        self.pc = next_pc
+        return self._execute(uop, native_pc, next_pc)
+
+    def execute_uops(self, uops) -> Optional[ExitEvent]:
+        """Execute a straight-line micro-op list (no fetch, no branches).
+
+        Used by the VMM for stub sequences and by differential tests.
+        In-stream branches (BC/JMP/JR) are rejected — lists have no
+        program counter to branch within.
+        """
+        for uop in uops:
+            if uop.op in (UOp.BC, UOp.JMP, UOp.JR):
+                raise NativeMachineError(
+                    f"branch {uop.op.value} in straight-line list")
+            event = self._execute(uop, native_pc=0, next_pc=0)
+            if event is not None:
+                return event
+        return None
+
+    def _execute(self, uop: MicroOp, native_pc: int,
+                 next_pc: int) -> Optional[ExitEvent]:
+        self.uops_executed += 1
+        self.uop_bytes_fetched += uop.length
+        if uop.fused:
+            self.fused_pairs_seen += 1
+
+        op = uop.op
+        if op in (UOp.NOP, UOp.NOP2):
+            return None
+        if op is UOp.MOV2:
+            self.set_reg(uop.rd, self.get_reg(uop.rs1))
+            return None
+        if op in (UOp.ADD2, UOp.SUB2, UOp.AND2, UOp.OR2, UOp.XOR2):
+            result = self._alu(op, self.get_reg(uop.rd),
+                               self.get_reg(uop.rs1), uop.setflags)
+            self.set_reg(uop.rd, result)
+            return None
+        if op is UOp.ADDI2:
+            result = self._alu(op, self.get_reg(uop.rd), uop.imm,
+                               uop.setflags)
+            self.set_reg(uop.rd, result)
+            return None
+        if op is UOp.CMP2:
+            self._flags_sub(self.get_reg(uop.rd), self.get_reg(uop.rs1), 0)
+            return None
+        if op is UOp.TEST2:
+            self._flags_logic(self.get_reg(uop.rd) & self.get_reg(uop.rs1))
+            return None
+
+        if op in (UOp.ADD, UOp.ADC, UOp.SUB, UOp.SBB, UOp.AND, UOp.OR,
+                  UOp.XOR, UOp.SHL, UOp.SHR, UOp.SAR):
+            result = self._alu(op, self.get_reg(uop.rs1),
+                               self.get_reg(uop.rs2), uop.setflags)
+            self.set_reg(uop.rd, result)
+            return None
+        if op in (UOp.ADDI, UOp.SUBI, UOp.ANDI, UOp.ORI, UOp.XORI,
+                  UOp.SHLI, UOp.SHRI, UOp.SARI):
+            result = self._alu(op, self.get_reg(uop.rs1), uop.imm,
+                               uop.setflags)
+            self.set_reg(uop.rd, result)
+            return None
+        if op in (UOp.MULL, UOp.MULLU):
+            if op is UOp.MULL:
+                product = _sext32(self.get_reg(uop.rs1)) * \
+                    _sext32(self.get_reg(uop.rs2))
+            else:
+                product = self.get_reg(uop.rs1) * self.get_reg(uop.rs2)
+            low = product & MASK32
+            if uop.setflags:
+                overflow = (product != _sext32(low) if op is UOp.MULL
+                            else product >> 32 != 0)
+                self.cf = self.of = overflow
+                self.zf = low == 0
+                self.sf = bool(low & SIGN32)
+            self.set_reg(uop.rd, low)
+            return None
+        if op in (UOp.MULH, UOp.MULHU):
+            if op is UOp.MULH:
+                product = _sext32(self.get_reg(uop.rs1)) * \
+                    _sext32(self.get_reg(uop.rs2))
+            else:
+                product = self.get_reg(uop.rs1) * self.get_reg(uop.rs2)
+            self.set_reg(uop.rd, (product >> 32) & MASK32)
+            return None
+        if op is UOp.SEL:
+            if cond_holds(uop.cond, self.cf, self.zf, self.sf, self.of):
+                self.set_reg(uop.rd, self.get_reg(uop.rs1))
+            return None
+        if op is UOp.LUI:
+            self.set_reg(uop.rd, (uop.imm << 13) & MASK32)
+            return None
+        if op in (UOp.INCF, UOp.DECF):
+            value = self.get_reg(uop.rs1)
+            if uop.setflags:
+                saved_cf = self.cf
+                result = (self._flags_add(value, 1, 0) if op is UOp.INCF
+                          else self._flags_sub(value, 1, 0))
+                self.cf = saved_cf
+            else:
+                delta = 1 if op is UOp.INCF else -1
+                result = (value + delta) & MASK32
+            self.set_reg(uop.rd, result)
+            return None
+
+        # -- memory -----------------------------------------------------------
+        if op is UOp.LDW:
+            self.set_reg(uop.rd, self.memory.read_u32(self._ea(uop)))
+            return None
+        if op is UOp.LDHU:
+            self.set_reg(uop.rd, self.memory.read_u16(self._ea(uop)))
+            return None
+        if op is UOp.LDHS:
+            value = self.memory.read_u16(self._ea(uop))
+            self.set_reg(uop.rd, value - 0x10000 if value & 0x8000
+                         else value)
+            return None
+        if op is UOp.LDBU:
+            self.set_reg(uop.rd, self.memory.read_u8(self._ea(uop)))
+            return None
+        if op is UOp.LDBS:
+            value = self.memory.read_u8(self._ea(uop))
+            self.set_reg(uop.rd, value - 0x100 if value & 0x80 else value)
+            return None
+        if op is UOp.STW:
+            self.memory.write_u32(self._ea(uop), self.get_reg(uop.rd))
+            return None
+        if op is UOp.STH:
+            self.memory.write_u16(self._ea(uop), self.get_reg(uop.rd))
+            return None
+        if op is UOp.STB:
+            self.memory.write_u8(self._ea(uop), self.get_reg(uop.rd))
+            return None
+        if op is UOp.LDF:
+            self.fregs[uop.rd][:] = self.memory.read(self._ea(uop),
+                                                     FREG_BYTES)
+            return None
+        if op is UOp.STF:
+            self.memory.write(self._ea(uop), bytes(self.fregs[uop.rd]))
+            return None
+
+        # -- control ------------------------------------------------------------
+        if op is UOp.BC:
+            if cond_holds(uop.cond, self.cf, self.zf, self.sf, self.of):
+                self.pc = (next_pc + uop.imm) & MASK32
+            return None
+        if op is UOp.JMP:
+            self.pc = (next_pc + uop.imm) & MASK32
+            return None
+        if op is UOp.JR:
+            self.pc = self.get_reg(uop.rs1)
+            return None
+        if op is UOp.VMEXIT:
+            return ExitEvent("vmexit", value=self.get_reg(uop.rs1),
+                             native_pc=native_pc, resume_pc=next_pc)
+        if op is UOp.VMCALL:
+            return ExitEvent("vmcall", value=uop.imm, native_pc=native_pc,
+                             resume_pc=next_pc)
+        if op is UOp.HALT:
+            return ExitEvent("halt", native_pc=native_pc,
+                             resume_pc=next_pc)
+
+        # -- flags / special -----------------------------------------------------
+        if op is UOp.RDFLG:
+            self.set_reg(uop.rd, self.flags_packed())
+            return None
+        if op is UOp.WRFLG:
+            self.set_flags_packed(self.get_reg(uop.rs1))
+            return None
+        if op is UOp.LDCSR:
+            self.set_reg(uop.rd, self.csr)
+            return None
+        if op in (UOp.JCSRC, UOp.JCSRT):
+            flag = self.csr_cmplx if op is UOp.JCSRC else self.csr_cti
+            if flag:
+                self.pc = (next_pc + uop.imm) & MASK32
+            return None
+        if op is UOp.XLTX86:
+            # Delegate to the backend functional-unit model (Table 1).
+            from repro.hwassist.xltx86 import XLTx86Unit
+            result = XLTx86Unit().translate(bytes(self.fregs[uop.rs1]))
+            self.fregs[uop.rd][:] = result.uop_bytes_padded
+            self.csr_ilen = result.x86_ilen
+            self.csr_uop_bytes = result.uop_byte_count
+            self.csr_cmplx = result.flag_cmplx
+            self.csr_cti = result.flag_cti
+            return None
+
+        raise NativeMachineError(f"unimplemented micro-op {op!r}")
+
+    def run(self, start_pc: int, max_uops: int = 10_000_000) -> ExitEvent:
+        """Run from ``start_pc`` until the next VM exit event."""
+        self.pc = start_pc
+        for _ in range(max_uops):
+            event = self.step()
+            if event is not None:
+                return event
+        raise NativeMachineError(f"no VM exit within {max_uops} micro-ops")

@@ -1,0 +1,171 @@
+"""The MicroOp record and its structural properties.
+
+A :class:`MicroOp` is the unit of the implementation ISA.  Encoded length
+is 2 bytes (16-bit format, registers R0–R15 only) or 4 bytes (32-bit
+format).  The ``fused`` bit marks the head of a macro-op pair; the machine
+and the timing model treat the head plus its successor as one issue unit.
+
+``x86_addr`` is *metadata*, not architecture: it records which architected
+instruction a micro-op was cracked from.  The translators persist it in
+side tables for precise-state reconstruction; it never reaches the encoded
+bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.isa.fusible.opcodes import (
+    BRANCH_OPS,
+    I_FORM_OPS,
+    LOAD_OPS,
+    R_FORM_OPS,
+    RR_FORM_OPS,
+    SHORT_OPS,
+    STORE_OPS,
+    UOp,
+)
+from repro.isa.fusible.registers import R_ZERO, SHORT_FORM_REG_LIMIT, reg_name
+from repro.isa.x86lite.registers import Cond
+
+#: Ops whose flag effects exist regardless of the .f bit (compare/test
+#: forms have no other effect).
+_ALWAYS_FLAGS = frozenset({UOp.CMP2, UOp.TEST2})
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One implementation-ISA micro-op."""
+
+    op: UOp
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    cond: Optional[Cond] = None
+    fused: bool = False
+    setflags: bool = False
+    x86_addr: Optional[int] = None   # metadata (side table), never encoded
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_short(self) -> bool:
+        return self.op in SHORT_OPS
+
+    @property
+    def length(self) -> int:
+        """Encoded length in bytes."""
+        return 2 if self.is_short else 4
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.setflags or self.op in _ALWAYS_FLAGS
+
+    def dest(self) -> Optional[int]:
+        """The general register written, or None."""
+        op = self.op
+        if op in (UOp.MOV2, UOp.ADD2, UOp.SUB2, UOp.AND2, UOp.OR2,
+                  UOp.XOR2, UOp.ADDI2):
+            return self.rd
+        if op in R_FORM_OPS or op in I_FORM_OPS or op in RR_FORM_OPS:
+            return None if self.rd == R_ZERO else self.rd
+        if op in (UOp.LUI, UOp.RDFLG, UOp.LDCSR):
+            return None if self.rd == R_ZERO else self.rd
+        if op in LOAD_OPS and op is not UOp.LDF:
+            return None if self.rd == R_ZERO else self.rd
+        return None
+
+    def sources(self) -> List[int]:
+        """General registers read (R31/zero excluded)."""
+        op = self.op
+        regs: List[int] = []
+        if op in (UOp.ADD2, UOp.SUB2, UOp.AND2, UOp.OR2, UOp.XOR2,
+                  UOp.CMP2, UOp.TEST2):
+            regs = [self.rd, self.rs1]
+        elif op in (UOp.MOV2,):
+            regs = [self.rs1]
+        elif op in (UOp.ADDI2,):
+            regs = [self.rd]
+        elif op in R_FORM_OPS:
+            regs = [self.rs1, self.rs2]
+            if op is UOp.SEL:
+                regs = [self.rs1, self.rd]  # keeps old rd if cond fails
+        elif op in I_FORM_OPS or op in RR_FORM_OPS:
+            regs = [self.rs1]
+        elif op in LOAD_OPS:
+            regs = [self.rs1]
+        elif op in STORE_OPS:
+            regs = [self.rs1] if op is UOp.STF else [self.rs1, self.rd]
+        elif op in (UOp.JR, UOp.VMEXIT, UOp.WRFLG):
+            regs = [self.rs1]
+        return [reg for reg in regs if reg != R_ZERO]
+
+    @property
+    def uses_short_regs_only(self) -> bool:
+        return all(reg < SHORT_FORM_REG_LIMIT
+                   for reg in (self.rd, self.rs1, self.rs2))
+
+    def with_fused(self, fused: bool = True) -> "MicroOp":
+        return replace(self, fused=fused)
+
+    # -- printing --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        name = self.op.value + (".f" if self.setflags else "")
+        head = "+" if self.fused else " "
+        op = self.op
+        if op in (UOp.NOP, UOp.NOP2, UOp.HALT):
+            body = name
+        elif op is UOp.BC:
+            body = f"bc.{self.cond.name.lower()} {self.imm:+d}"
+        elif op is UOp.SEL:
+            body = (f"sel.{self.cond.name.lower()} {reg_name(self.rd)}, "
+                    f"{reg_name(self.rs1)}")
+        elif op is UOp.JMP:
+            body = f"jmp {self.imm:+d}"
+        elif op in (UOp.JR, UOp.VMEXIT, UOp.WRFLG):
+            body = f"{name} {reg_name(self.rs1)}"
+        elif op is UOp.VMCALL:
+            body = f"vmcall #{self.imm}"
+        elif op in (UOp.RDFLG, UOp.LDCSR):
+            body = f"{name} {reg_name(self.rd)}"
+        elif op in (UOp.JCSRC, UOp.JCSRT):
+            body = f"{name} {self.imm:+d}"
+        elif op is UOp.XLTX86:
+            body = f"xltx86 f{self.rd}, f{self.rs1}"
+        elif op in (UOp.LDF, UOp.STF):
+            body = f"{name} f{self.rd}, {self.imm}({reg_name(self.rs1)})"
+        elif op in LOAD_OPS or op in STORE_OPS:
+            body = f"{name} {reg_name(self.rd)}, " \
+                   f"{self.imm}({reg_name(self.rs1)})"
+        elif op is UOp.LUI:
+            body = f"lui {reg_name(self.rd)}, {self.imm:#x}"
+        elif op in I_FORM_OPS:
+            body = f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}, " \
+                   f"{self.imm}"
+        elif op in RR_FORM_OPS:
+            body = f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+        elif op in R_FORM_OPS:
+            body = f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}, " \
+                   f"{reg_name(self.rs2)}"
+        elif op is UOp.ADDI2:
+            body = f"{name} {reg_name(self.rd)}, {self.imm}"
+        elif op is UOp.MOV2:
+            body = f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+        else:  # remaining 16-bit two-register forms
+            body = f"{name} {reg_name(self.rd)}, {reg_name(self.rs1)}"
+        return head + body

@@ -1,0 +1,159 @@
+"""Micro-op vocabulary of the fusible implementation ISA.
+
+Micro-ops come in two encoded lengths — 16-bit and 32-bit — mirroring the
+"16b/32b micro-op format" of the baseline co-designed VM (Hu & Smith,
+HPCA 2006).  Each micro-op carries a *fusible* head bit; a set bit marks
+the micro-op as the head of a fused macro-op pair with its successor.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class UOp(enum.Enum):
+    """Micro-operations (semantic level)."""
+
+    # -- 16-bit-encodable forms (registers R0..R15, short immediates) -----
+    MOV2 = "mov2"          # rd <- rs
+    ADD2 = "add2"          # rd <- rd + rs
+    SUB2 = "sub2"          # rd <- rd - rs
+    AND2 = "and2"
+    OR2 = "or2"
+    XOR2 = "xor2"
+    CMP2 = "cmp2"          # flags(rd - rs)
+    TEST2 = "test2"        # flags(rd & rs)
+    ADDI2 = "addi2"        # rd <- rd + sext(imm4)
+    NOP2 = "nop2"
+
+    # -- 32-bit register forms ------------------------------------------------
+    ADD = "add"            # rd <- rs1 + rs2
+    ADC = "adc"
+    SUB = "sub"
+    SBB = "sbb"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    MULL = "mull"          # low 32 bits of product (.f: signed-ovf flags)
+    MULLU = "mullu"        # low 32 bits of product (.f: unsigned-ovf flags)
+    MULH = "mulh"          # high 32 bits of signed product
+    MULHU = "mulhu"        # high 32 bits of unsigned product
+    SEL = "sel"            # if cond(flags): rd <- rs1  (CMOV support)
+
+    # -- 32-bit immediate forms ---------------------------------------------
+    ADDI = "addi"          # rd <- rs1 + sext(imm13)
+    SUBI = "subi"
+    ANDI = "andi"
+    ORI = "ori"            # rd <- rs1 | zext(imm13)
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    SARI = "sari"
+    LUI = "lui"            # rd <- imm19 << 13
+    INCF = "incf"          # rd <- rs1 + 1; .f sets ZF/SF/OF, preserves CF
+    DECF = "decf"          # rd <- rs1 - 1; .f sets ZF/SF/OF, preserves CF
+
+    # -- memory ----------------------------------------------------------------
+    LDW = "ldw"            # rd <- mem32[rs1 + sext(imm13)]
+    LDHU = "ldhu"
+    LDHS = "ldhs"
+    LDBU = "ldbu"
+    LDBS = "ldbs"
+    STW = "stw"            # mem32[rs1 + sext(imm13)] <- rd
+    STH = "sth"
+    STB = "stb"
+    LDF = "ldf"            # F[fd] <- mem128[rs1 + sext(imm13)]
+    STF = "stf"            # mem128[rs1 + sext(imm13)] <- F[fd]
+
+    # -- control transfer -------------------------------------------------------
+    BC = "bc"              # branch on condition (x86 tttn code) imm13 offset
+    JMP = "jmp"            # pc-relative imm24 (chains inside code cache)
+    JR = "jr"              # indirect jump to regs[rs1]
+    VMEXIT = "vmexit"      # leave translated code; x86 target in regs[rs1]
+    VMCALL = "vmcall"      # call VMM service imm13 (complex instr, syscall)
+
+    # -- flags / special ---------------------------------------------------------
+    RDFLG = "rdflg"        # rd <- packed architected flags
+    WRFLG = "wrflg"        # packed architected flags <- rs1
+    XLTX86 = "xltx86"      # F[fd] <- crack(F[fs]); sets CSR (Table 1)
+    LDCSR = "ldcsr"        # rd <- CSR
+    JCSRC = "jcsrc"        # branch imm13 if CSR.Flag_cmplx  ("Jcpx")
+    JCSRT = "jcsrt"        # branch imm13 if CSR.Flag_cti    ("Jcti")
+    NOP = "nop"
+    HALT = "halt"          # stop the native machine (VMM/demo use)
+
+
+#: Micro-ops encoded in the 16-bit format.
+SHORT_OPS = frozenset({
+    UOp.MOV2, UOp.ADD2, UOp.SUB2, UOp.AND2, UOp.OR2, UOp.XOR2, UOp.CMP2,
+    UOp.TEST2, UOp.ADDI2, UOp.NOP2,
+})
+
+#: Register-register 32-bit ALU forms.
+R_FORM_OPS = frozenset({
+    UOp.ADD, UOp.ADC, UOp.SUB, UOp.SBB, UOp.AND, UOp.OR, UOp.XOR,
+    UOp.SHL, UOp.SHR, UOp.SAR, UOp.MULL, UOp.MULLU, UOp.MULH, UOp.MULHU,
+    UOp.SEL,
+})
+
+#: Immediate 32-bit ALU forms.
+I_FORM_OPS = frozenset({
+    UOp.ADDI, UOp.SUBI, UOp.ANDI, UOp.ORI, UOp.XORI, UOp.SHLI, UOp.SHRI,
+    UOp.SARI,
+})
+
+#: Two-register forms (rd, rs1 only).
+RR_FORM_OPS = frozenset({UOp.INCF, UOp.DECF})
+
+#: Loads (rd is written from memory).
+LOAD_OPS = frozenset({UOp.LDW, UOp.LDHU, UOp.LDHS, UOp.LDBU, UOp.LDBS,
+                      UOp.LDF})
+
+#: Stores (rd is the data source).
+STORE_OPS = frozenset({UOp.STW, UOp.STH, UOp.STB, UOp.STF})
+
+MEMORY_OPS = LOAD_OPS | STORE_OPS
+
+#: Control transfers (end of in-line execution).
+BRANCH_OPS = frozenset({UOp.BC, UOp.JMP, UOp.JR, UOp.VMEXIT, UOp.VMCALL,
+                        UOp.JCSRC, UOp.JCSRT, UOp.HALT})
+
+#: Single-cycle ALU micro-ops eligible to *head* a fused macro-op pair.
+FUSIBLE_HEAD_OPS = (frozenset({
+    UOp.ADD, UOp.SUB, UOp.AND, UOp.OR, UOp.XOR, UOp.SHL, UOp.SHR, UOp.SAR,
+    UOp.ADDI, UOp.SUBI, UOp.ANDI, UOp.ORI, UOp.XORI, UOp.SHLI, UOp.SHRI,
+    UOp.SARI, UOp.LUI, UOp.INCF, UOp.DECF,
+}) | frozenset({UOp.MOV2, UOp.ADD2, UOp.SUB2, UOp.AND2, UOp.OR2, UOp.XOR2,
+                UOp.ADDI2}))
+
+#: Micro-ops allowed as the *tail* of a fused pair (consume head's result).
+FUSIBLE_TAIL_OPS = (FUSIBLE_HEAD_OPS
+                    | frozenset({UOp.CMP2, UOp.TEST2, UOp.ADC, UOp.SBB})
+                    | MEMORY_OPS - frozenset({UOp.LDF, UOp.STF})
+                    | frozenset({UOp.BC}))
+
+#: Long-latency micro-ops (multi-cycle in the timing model).
+LONG_LATENCY_OPS = frozenset({UOp.MULL, UOp.MULH, UOp.MULHU, UOp.XLTX86,
+                              UOp.LDF, UOp.STF})
+
+#: Micro-ops that act as scheduling barriers in the SBT optimizer
+#: (precise-state handoffs to the VMM must not be reordered across).
+BARRIER_OPS = frozenset({UOp.VMCALL, UOp.VMEXIT, UOp.RDFLG, UOp.WRFLG,
+                         UOp.XLTX86, UOp.LDCSR, UOp.JCSRC, UOp.JCSRT,
+                         UOp.HALT})
+
+#: Micro-ops that read the architected flags.
+FLAG_READING_UOPS = frozenset({UOp.BC, UOp.SEL, UOp.ADC, UOp.SBB, UOp.RDFLG})
+
+
+class VMService(enum.IntEnum):
+    """VMCALL service indices (the VMM runtime's entry points)."""
+
+    INTERP_ONE = 0     # interpret one complex architected instruction
+    SYSCALL = 1        # architected INT 0x80 (subsumed by INTERP_ONE;
+    #                    kept distinct for accounting)
+    HALT = 2           # architected HLT
+    PROFILE = 3        # software profiling counter bump (VM.soft BBT code)

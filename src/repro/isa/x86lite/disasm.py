@@ -1,0 +1,129 @@
+"""x86lite disassembler.
+
+Formats decoded instructions with their raw bytes, resolves branch
+targets through an optional symbol table, and walks whole ranges or
+control-flow-discovered regions.  Used by examples, the CLI and debug
+tooling; the decoder itself lives in :mod:`repro.isa.x86lite.decoder`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.x86lite.decoder import DecodeError, decode
+from repro.isa.x86lite.instruction import Instruction, \
+    MAX_INSTRUCTION_LENGTH
+
+
+class DisasmLine:
+    """One formatted disassembly line."""
+
+    def __init__(self, instr: Instruction, raw: bytes,
+                 symbol: Optional[str] = None) -> None:
+        self.instr = instr
+        self.raw = raw
+        self.symbol = symbol
+
+    @property
+    def addr(self) -> int:
+        return self.instr.addr
+
+    def format(self, symbols: Optional[Dict[int, str]] = None) -> str:
+        text = str(self.instr)
+        if symbols and self.instr.target is not None:
+            name = symbols.get(self.instr.target)
+            if name:
+                text = f"{self.instr.mnemonic()} {name}"
+        prefix = f"{self.symbol}:\n" if self.symbol else ""
+        return (f"{prefix}  {self.addr:#010x}: "
+                f"{self.raw.hex():<20s} {text}")
+
+
+def disassemble_range(data: bytes, base: int = 0,
+                      limit: Optional[int] = None) -> List[DisasmLine]:
+    """Linearly disassemble ``data`` as a sequence of instructions.
+
+    Stops at the first undecodable byte or after ``limit`` instructions.
+    """
+    lines: List[DisasmLine] = []
+    offset = 0
+    while offset < len(data):
+        if limit is not None and len(lines) >= limit:
+            break
+        try:
+            instr = decode(data, addr=base + offset, offset=offset)
+        except DecodeError:
+            break
+        lines.append(DisasmLine(instr,
+                                data[offset:offset + instr.length]))
+        offset += instr.length
+    return lines
+
+
+def disassemble_memory(memory, addr: int, count: int) -> List[DisasmLine]:
+    """Disassemble ``count`` instructions from an address space."""
+    lines: List[DisasmLine] = []
+    pc = addr
+    for _ in range(count):
+        window = memory.read(pc, MAX_INSTRUCTION_LENGTH)
+        try:
+            instr = decode(window, addr=pc)
+        except DecodeError:
+            break
+        lines.append(DisasmLine(instr, window[:instr.length]))
+        pc = instr.next_addr
+    return lines
+
+
+def discover_code(memory, entry: int,
+                  max_instructions: int = 10_000
+                  ) -> Dict[int, Instruction]:
+    """Control-flow code discovery from ``entry``.
+
+    Follows fall-through paths and both directions of direct branches
+    (the static analogue of what the BBT discovers dynamically); stops at
+    indirect transfers.  Returns a map of address -> instruction.
+    """
+    seen: Dict[int, Instruction] = {}
+    work: List[int] = [entry]
+    while work and len(seen) < max_instructions:
+        pc = work.pop()
+        if pc in seen:
+            continue
+        window = memory.read(pc, MAX_INSTRUCTION_LENGTH)
+        try:
+            instr = decode(window, addr=pc)
+        except DecodeError:
+            continue
+        seen[pc] = instr
+        if instr.target is not None:
+            work.append(instr.target)
+        if not instr.is_control_transfer or instr.is_conditional:
+            work.append(instr.next_addr)
+        elif instr.op.value == "call" and instr.target is not None:
+            work.append(instr.next_addr)  # calls return
+    return seen
+
+
+def format_listing(lines: List[DisasmLine],
+                   symbols: Optional[Dict[str, int]] = None) -> str:
+    """Render lines, annotating label addresses from a symbol table."""
+    by_addr = {addr: name for name, addr in (symbols or {}).items()}
+    out = []
+    for line in lines:
+        if line.addr in by_addr:
+            out.append(f"{by_addr[line.addr]}:")
+        out.append(line.format(symbols=by_addr and {
+            addr: name for addr, name in by_addr.items()}))
+    return "\n".join(out)
+
+
+def iter_instructions(memory, start: int, end: int
+                      ) -> Iterator[Tuple[int, Instruction]]:
+    """Yield (addr, instruction) pairs over [start, end)."""
+    pc = start
+    while pc < end:
+        window = memory.read(pc, MAX_INSTRUCTION_LENGTH)
+        instr = decode(window, addr=pc)
+        yield pc, instr
+        pc = instr.next_addr

@@ -1,0 +1,426 @@
+"""Reference semantics for x86lite instructions.
+
+``execute(instr, state)`` performs exactly one architected instruction.
+These semantics are the single source of truth for correctness: the
+interpreter calls them directly, and the translation paths (BBT/SBT micro-op
+code) are differentially tested against them.
+
+Flag notes (documented deviations from IA-32, applied consistently):
+
+* PF and AF are not modeled (nothing in the subset reads them).
+* IMUL/MUL define ZF/SF from the low result instead of leaving them
+  undefined; this makes differential testing deterministic.
+* Shifts with a zero (masked) count leave all flags unchanged, like IA-32.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.x86lite.instruction import (
+    ImmOperand,
+    Instruction,
+    MemOperand,
+    Operand,
+    RegOperand,
+)
+from repro.isa.x86lite.opcodes import Op
+from repro.isa.x86lite.registers import Reg, cond_holds
+from repro.isa.x86lite.state import ArchException, MASK32, X86State
+
+#: INT vector used for OS services in x86lite programs.
+SYSCALL_VECTOR = 0x80
+
+#: Syscall numbers (in EAX at INT 0x80).
+SYS_EXIT = 0
+SYS_PRINT_INT = 1
+SYS_PRINT_CHAR = 2
+SYS_PRINT_STR = 3
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _sign_bit(width: int) -> int:
+    return 1 << (width - 1)
+
+
+def _signed(value: int, width: int) -> int:
+    mask = _mask(width)
+    value &= mask
+    return value - (mask + 1) if value & _sign_bit(width) else value
+
+
+def effective_address(operand: MemOperand, state: X86State) -> int:
+    """Compute the architected effective address of a memory operand."""
+    addr = operand.disp
+    if operand.base is not None:
+        addr += state.regs[operand.base]
+    if operand.index is not None:
+        addr += state.regs[operand.index] * operand.scale
+    return addr & MASK32
+
+
+def _read_mem(state: X86State, addr: int, size: int) -> int:
+    if size == 8:
+        return state.memory.read_u8(addr)
+    if size == 16:
+        return state.memory.read_u16(addr)
+    return state.memory.read_u32(addr)
+
+
+def _write_mem(state: X86State, addr: int, value: int, size: int) -> None:
+    if size == 8:
+        state.memory.write_u8(addr, value)
+    elif size == 16:
+        state.memory.write_u16(addr, value)
+    else:
+        state.memory.write_u32(addr, value)
+
+
+def read_operand(operand: Operand, state: X86State, width: int) -> int:
+    if isinstance(operand, RegOperand):
+        return state.get_reg(operand.reg, width)
+    if isinstance(operand, ImmOperand):
+        return operand.value & _mask(width)
+    return _read_mem(state, effective_address(operand, state),
+                     operand.size if operand.size != 32 else width)
+
+
+def write_operand(operand: Operand, state: X86State, value: int,
+                  width: int) -> None:
+    if isinstance(operand, RegOperand):
+        state.set_reg(operand.reg, value, width)
+    elif isinstance(operand, MemOperand):
+        _write_mem(state, effective_address(operand, state), value, width)
+    else:
+        raise ArchException("write-to-immediate", state.eip)
+
+
+# -- flag helpers ------------------------------------------------------------
+
+def _zf_sf(result: int, width: int) -> Tuple[bool, bool]:
+    result &= _mask(width)
+    return result == 0, bool(result & _sign_bit(width))
+
+
+def _add_flags(a: int, b: int, carry_in: int, width: int,
+               state: X86State) -> int:
+    mask = _mask(width)
+    raw = (a & mask) + (b & mask) + carry_in
+    result = raw & mask
+    zf, sf = _zf_sf(result, width)
+    of = bool((~(a ^ b) & (a ^ result)) & _sign_bit(width))
+    state.set_flags(cf=raw > mask, zf=zf, sf=sf, of=of)
+    return result
+
+
+def _sub_flags(a: int, b: int, borrow_in: int, width: int,
+               state: X86State) -> int:
+    mask = _mask(width)
+    raw = (a & mask) - (b & mask) - borrow_in
+    result = raw & mask
+    zf, sf = _zf_sf(result, width)
+    of = bool(((a ^ b) & (a ^ result)) & _sign_bit(width))
+    state.set_flags(cf=raw < 0, zf=zf, sf=sf, of=of)
+    return result
+
+
+def _logic_flags(result: int, width: int, state: X86State) -> int:
+    result &= _mask(width)
+    zf, sf = _zf_sf(result, width)
+    state.set_flags(cf=False, zf=zf, sf=sf, of=False)
+    return result
+
+
+# -- syscalls ---------------------------------------------------------------
+
+def handle_syscall(state: X86State) -> None:
+    """INT 0x80 service handler (the 'OS' under x86lite programs)."""
+    call = state.regs[Reg.EAX]
+    arg = state.regs[Reg.EBX]
+    if call == SYS_EXIT:
+        state.halted = True
+        state.exit_code = arg
+    elif call == SYS_PRINT_INT:
+        state.output.append(_signed(arg, 32))
+    elif call == SYS_PRINT_CHAR:
+        state.output.append(chr(arg & 0xFF))
+    elif call == SYS_PRINT_STR:
+        length = state.regs[Reg.ECX]
+        data = state.memory.read(arg, length)
+        state.output.append(data.decode("latin-1"))
+    else:
+        raise ArchException(f"bad-syscall-{call}", state.eip)
+
+
+# -- main dispatch -------------------------------------------------------------
+
+def execute(instr: Instruction, state: X86State) -> None:
+    """Execute one instruction, updating ``state`` (including ``eip``)."""
+    op = instr.op
+    width = instr.width
+    next_eip = (instr.addr + instr.length) & MASK32
+    state.eip = next_eip  # default fall-through; CTIs override below
+
+    if op is Op.NOP:
+        return
+    if op is Op.HLT:
+        state.halted = True
+        return
+    if op is Op.MOV:
+        dst, src = instr.operands
+        write_operand(dst, state, read_operand(src, state, width), width)
+        return
+    if op in (Op.MOVZX, Op.MOVSX):
+        dst, src = instr.operands
+        value = _read_mem(state, effective_address(src, state), src.size)
+        if op is Op.MOVSX:
+            value = _signed(value, src.size) & MASK32
+        write_operand(dst, state, value, 32)
+        return
+    if op is Op.LEA:
+        dst, src = instr.operands
+        write_operand(dst, state, effective_address(src, state), width)
+        return
+    if op is Op.CMOV:
+        dst, src = instr.operands
+        if cond_holds(instr.cond, state.cf, state.zf, state.sf, state.of):
+            write_operand(dst, state, read_operand(src, state, width), width)
+        return
+    if op is Op.XCHG:
+        a, b = instr.operands
+        va = read_operand(a, state, width)
+        vb = read_operand(b, state, width)
+        write_operand(a, state, vb, width)
+        write_operand(b, state, va, width)
+        return
+
+    if op in (Op.ADD, Op.ADC, Op.SUB, Op.SBB, Op.CMP):
+        dst, src = instr.operands
+        a = read_operand(dst, state, width)
+        b = read_operand(src, state, width)
+        if op is Op.ADD:
+            result = _add_flags(a, b, 0, width, state)
+        elif op is Op.ADC:
+            result = _add_flags(a, b, int(state.cf), width, state)
+        elif op is Op.SBB:
+            result = _sub_flags(a, b, int(state.cf), width, state)
+        else:
+            result = _sub_flags(a, b, 0, width, state)
+        if op is not Op.CMP:
+            write_operand(dst, state, result, width)
+        return
+    if op in (Op.AND, Op.OR, Op.XOR, Op.TEST):
+        dst, src = instr.operands
+        a = read_operand(dst, state, width)
+        b = read_operand(src, state, width)
+        if op in (Op.AND, Op.TEST):
+            result = a & b
+        elif op is Op.OR:
+            result = a | b
+        else:
+            result = a ^ b
+        result = _logic_flags(result, width, state)
+        if op is not Op.TEST:
+            write_operand(dst, state, result, width)
+        return
+    if op in (Op.INC, Op.DEC):
+        (dst,) = instr.operands
+        a = read_operand(dst, state, width)
+        saved_cf = state.cf  # INC/DEC preserve CF
+        result = (_add_flags(a, 1, 0, width, state) if op is Op.INC
+                  else _sub_flags(a, 1, 0, width, state))
+        state.cf = saved_cf
+        write_operand(dst, state, result, width)
+        return
+    if op is Op.NEG:
+        (dst,) = instr.operands
+        a = read_operand(dst, state, width)
+        result = _sub_flags(0, a, 0, width, state)
+        state.cf = a != 0
+        write_operand(dst, state, result, width)
+        return
+    if op is Op.NOT:
+        (dst,) = instr.operands
+        a = read_operand(dst, state, width)
+        write_operand(dst, state, ~a & _mask(width), width)
+        return
+    if op in (Op.SHL, Op.SHR, Op.SAR):
+        dst, count_operand = instr.operands
+        count = read_operand(count_operand, state, 32) & 31
+        a = read_operand(dst, state, width)
+        if count == 0:
+            return
+        mask = _mask(width)
+        if op is Op.SHL:
+            result = (a << count) & mask
+            cf = bool((a >> (width - count)) & 1) if count <= width else False
+            of = (bool(result & _sign_bit(width)) != cf) if count == 1 \
+                else state.of
+        elif op is Op.SHR:
+            result = (a & mask) >> count if count < width else 0
+            cf = bool((a >> (count - 1)) & 1) if count <= width else False
+            of = bool(a & _sign_bit(width)) if count == 1 else state.of
+        else:  # SAR
+            signed_a = _signed(a, width)
+            result = (signed_a >> count) & mask if count < width \
+                else (mask if signed_a < 0 else 0)
+            shifted = signed_a >> min(count - 1, width - 1)
+            cf = bool(shifted & 1)
+            of = False if count == 1 else state.of
+        zf, sf = _zf_sf(result, width)
+        state.set_flags(cf=cf, zf=zf, sf=sf, of=of)
+        write_operand(dst, state, result, width)
+        return
+    if op is Op.IMUL:
+        if len(instr.operands) == 1:
+            (src,) = instr.operands
+            a = _signed(state.get_reg(Reg.EAX, width), width)
+            b = _signed(read_operand(src, state, width), width)
+            product = a * b
+            mask = _mask(width)
+            low = product & mask
+            high = (product >> width) & mask
+            state.set_reg(Reg.EAX, low, width)
+            state.set_reg(Reg.EDX, high, width)
+            overflow = product != _signed(low, width)
+            zf, sf = _zf_sf(low, width)
+            state.set_flags(cf=overflow, of=overflow, zf=zf, sf=sf)
+            return
+        if len(instr.operands) == 2:
+            dst, src = instr.operands
+        else:
+            dst, src, imm = instr.operands
+        a = _signed(read_operand(src, state, width), width)
+        b = (_signed(imm.value, width) if len(instr.operands) == 3
+             else _signed(read_operand(dst, state, width), width))
+        product = a * b
+        result = product & _mask(width)
+        overflow = product != _signed(result, width)
+        zf, sf = _zf_sf(result, width)
+        state.set_flags(cf=overflow, of=overflow, zf=zf, sf=sf)
+        write_operand(dst, state, result, width)
+        return
+    if op is Op.MUL:
+        (src,) = instr.operands
+        a = state.get_reg(Reg.EAX, width)
+        b = read_operand(src, state, width)
+        product = a * b
+        mask = _mask(width)
+        low = product & mask
+        high = (product >> width) & mask
+        state.set_reg(Reg.EAX, low, width)
+        state.set_reg(Reg.EDX, high, width)
+        zf, sf = _zf_sf(low, width)
+        state.set_flags(cf=high != 0, of=high != 0, zf=zf, sf=sf)
+        return
+    if op in (Op.DIV, Op.IDIV):
+        (src,) = instr.operands
+        divisor = read_operand(src, state, width)
+        mask = _mask(width)
+        dividend = (state.get_reg(Reg.EDX, width) << width) | \
+            state.get_reg(Reg.EAX, width)
+        if divisor == 0:
+            state.eip = instr.addr  # fault: EIP points at the faulting instr
+            raise ArchException("divide-error", instr.addr)
+        if op is Op.IDIV:
+            divisor = _signed(divisor, width)
+            dividend = _signed(dividend, 2 * width)
+            quotient = abs(dividend) // abs(divisor)  # truncate toward zero
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            remainder = dividend - quotient * divisor
+            in_range = -_sign_bit(width) <= quotient < _sign_bit(width)
+        else:
+            quotient, remainder = divmod(dividend, divisor)
+            in_range = quotient <= mask
+        if not in_range:
+            state.eip = instr.addr
+            raise ArchException("divide-overflow", instr.addr)
+        state.set_reg(Reg.EAX, quotient & mask, width)
+        state.set_reg(Reg.EDX, remainder & mask, width)
+        return
+
+    # -- stack ---------------------------------------------------------------
+    if op is Op.PUSH:
+        (src,) = instr.operands
+        size = 2 if width == 16 else 4
+        state.push(read_operand(src, state, width), size)
+        return
+    if op is Op.POP:
+        (dst,) = instr.operands
+        size = 2 if width == 16 else 4
+        write_operand(dst, state, state.pop(size), width)
+        return
+
+    # -- control transfer ------------------------------------------------------
+    if op is Op.JMP:
+        state.eip = (instr.target if instr.target is not None
+                     else read_operand(instr.operands[0], state, 32))
+        return
+    if op is Op.JCC:
+        if cond_holds(instr.cond, state.cf, state.zf, state.sf, state.of):
+            state.eip = instr.target
+        return
+    if op is Op.LOOP:
+        # decrement ECX (flags untouched); branch while nonzero
+        count = (state.regs[Reg.ECX] - 1) & MASK32
+        state.regs[Reg.ECX] = count
+        if count != 0:
+            state.eip = instr.target
+        return
+    if op is Op.JECXZ:
+        if state.regs[Reg.ECX] == 0:
+            state.eip = instr.target
+        return
+    if op is Op.CALL:
+        state.push(next_eip, 4)
+        state.eip = (instr.target if instr.target is not None
+                     else read_operand(instr.operands[0], state, 32))
+        return
+    if op is Op.RET:
+        state.eip = state.pop(4)
+        if instr.operands:
+            state.regs[Reg.ESP] = (state.regs[Reg.ESP]
+                                   + instr.operands[0].value) & MASK32
+        return
+
+    # -- string ops (dword granularity, ascending) -----------------------------
+    if op in (Op.MOVS, Op.STOS, Op.LODS):
+        iterations = state.regs[Reg.ECX] if instr.rep else 1
+        esi, edi = state.regs[Reg.ESI], state.regs[Reg.EDI]
+        for _ in range(iterations):
+            if op is Op.MOVS:
+                state.memory.write_u32(edi, state.memory.read_u32(esi))
+                esi = (esi + 4) & MASK32
+                edi = (edi + 4) & MASK32
+            elif op is Op.STOS:
+                state.memory.write_u32(edi, state.regs[Reg.EAX])
+                edi = (edi + 4) & MASK32
+            else:
+                state.regs[Reg.EAX] = state.memory.read_u32(esi)
+                esi = (esi + 4) & MASK32
+        state.regs[Reg.ESI], state.regs[Reg.EDI] = esi, edi
+        if instr.rep:
+            state.regs[Reg.ECX] = 0
+        return
+
+    # -- system -----------------------------------------------------------------
+    if op is Op.INT:
+        vector = instr.operands[0].value
+        if vector != SYSCALL_VECTOR:
+            state.eip = instr.addr
+            raise ArchException(f"int-{vector:#x}", instr.addr)
+        handle_syscall(state)
+        return
+    if op is Op.CPUID:
+        # Identify the machine; values are arbitrary but fixed.
+        state.set_reg(Reg.EAX, 1)
+        state.set_reg(Reg.EBX, 0x6C697465)  # 'lite'
+        state.set_reg(Reg.ECX, 0)
+        state.set_reg(Reg.EDX, 0)
+        return
+
+    raise ArchException(f"unimplemented-{op.value}", instr.addr)

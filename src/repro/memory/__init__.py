@@ -1,0 +1,12 @@
+"""Flat memory substrate shared by the architected and implementation ISAs.
+
+The co-designed VM of the paper keeps three kinds of code in one physical
+memory: the architected (x86) binary, the concealed VMM, and the code caches
+holding translations.  :class:`~repro.memory.address_space.AddressSpace`
+models that memory as a sparse, paged, little-endian byte store.
+"""
+
+from repro.memory.address_space import AddressSpace, MemoryError_
+from repro.memory.loader import Image, Segment, load_image
+
+__all__ = ["AddressSpace", "MemoryError_", "Image", "Segment", "load_image"]

@@ -1,0 +1,72 @@
+"""Minimal binary image format and loader.
+
+A conventional system loads the architected-ISA binary from disk into main
+memory before execution begins (scenario 1 of the paper's Section 3.1).  The
+:class:`Image` here plays the role of that on-disk binary: named segments of
+bytes plus an entry point.  The VM and the reference superscalar both start
+from an image loaded into an :class:`~repro.memory.AddressSpace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.address_space import AddressSpace
+
+#: Default load address for program text, mirroring a conventional
+#: user-space text base.
+DEFAULT_TEXT_BASE = 0x0040_0000
+
+#: Default top-of-stack for loaded programs.
+DEFAULT_STACK_TOP = 0x00BF_FFF0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous region of an image."""
+
+    name: str
+    addr: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+
+@dataclass
+class Image:
+    """An executable image: segments plus an entry point.
+
+    ``labels`` carries assembler symbols (useful to tests and examples for
+    locating functions inside the image).
+    """
+
+    entry: int
+    segments: list[Segment] = field(default_factory=list)
+    labels: dict = field(default_factory=dict)
+
+    def add_segment(self, name: str, addr: int, data: bytes) -> None:
+        for existing in self.segments:
+            if addr < existing.end and existing.addr < addr + len(data):
+                raise ValueError(
+                    f"segment {name!r} at {addr:#x} overlaps {existing.name!r}")
+        self.segments.append(Segment(name, addr, data))
+
+    @property
+    def text(self) -> Segment:
+        """The first segment named ``text`` (the architected code)."""
+        for segment in self.segments:
+            if segment.name == "text":
+                return segment
+        raise ValueError("image has no text segment")
+
+    def total_bytes(self) -> int:
+        return sum(len(segment.data) for segment in self.segments)
+
+
+def load_image(image: Image, memory: AddressSpace) -> int:
+    """Copy every segment of ``image`` into ``memory``; return the entry PC."""
+    for segment in image.segments:
+        memory.write(segment.addr, segment.data)
+    return image.entry

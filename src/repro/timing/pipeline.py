@@ -1,0 +1,85 @@
+"""Per-mode execution cost model (cycles per architected instruction).
+
+The startup simulator attributes every cycle to an execution *mode*.
+Steady-state CPIs per mode come from the paper's measured relationships:
+
+* reference superscalar: the application's base IPC;
+* SBT (fused macro-op) code: base IPC x the application's steady-state
+  VM speedup (+8% suite average);
+* BBT code: 82–85% of SBT-code IPC (Section 5.3; we use the per-app
+  ``bbt_relative_ipc``);
+* x86-mode on VM.fe: same as the reference (same pipeline, same two-level
+  decoders — the paper reports "virtually the same startup curve");
+* interpretation: a flat cycles-per-instruction cost (Section 1.1's
+  10x-100x range; 45 by default).
+
+Translation costs are charged per *translated* architected instruction
+(Δ values from Sections 3.2 and 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.workloads.winstone import AppProfile
+
+
+@dataclass(frozen=True)
+class ModeCosts:
+    """All per-instruction cycle costs for one (config, app) pair."""
+
+    #: execution CPIs
+    ref_cpi: float
+    sbt_cpi: float
+    bbt_code_cpi: float
+    x86_mode_cpi: float
+    interp_cpi: float
+    #: translation CPIs (per translated architected instruction)
+    bbt_translate_cpi: float       # 0 when the config has no BBT
+    sbt_translate_cpi: float       # 0 when the config never optimizes
+    #: decoder-activity cycles per BBT-translated instruction (VM.be:
+    #: the XLTx86 unit is powered for the duration of each HAloop burst,
+    #: i.e. all ~20 cycles per instruction; it is gated off otherwise)
+    xlt_busy_per_instr: float
+
+    def cold_execution_cpi(self, mode: str) -> float:
+        """CPI of cold-code execution for an initial-emulation mode."""
+        if mode == "bbt":
+            return self.bbt_code_cpi
+        if mode == "x86-mode":
+            return self.x86_mode_cpi
+        if mode == "interp":
+            return self.interp_cpi
+        return self.ref_cpi  # 'native' (reference)
+
+
+def mode_costs_for(config: MachineConfig, app: AppProfile) -> ModeCosts:
+    """Derive the cost table for one configuration on one application."""
+    ref_cpi = 1.0 / app.ipc_ref
+    sbt_cpi = 1.0 / (app.ipc_ref * app.vm_speedup)
+    # the 82-85% BBT-vs-SBT code-quality gap applies to the compute
+    # portion of each cycle; memory-stall cycles are unaffected, which
+    # dilutes the penalty exactly as Section 5.3 observes
+    stall = app.stall_fraction
+    bbt_code_cpi = sbt_cpi * (stall + (1.0 - stall)
+                              / app.bbt_relative_ipc)
+    costs = config.costs
+
+    bbt_translate = costs.bbt_cycles_per_instr or 0.0
+    sbt_translate = (costs.sbt_cycles_per_instr or 0.0) \
+        if config.is_vm else 0.0
+    interp_cpi = costs.interp_cycles_per_instr or 45.0
+
+    xlt_busy = bbt_translate if config.mode == "be" else 0.0
+
+    return ModeCosts(
+        ref_cpi=ref_cpi,
+        sbt_cpi=sbt_cpi,
+        bbt_code_cpi=bbt_code_cpi,
+        x86_mode_cpi=ref_cpi,
+        interp_cpi=interp_cpi,
+        bbt_translate_cpi=bbt_translate,
+        sbt_translate_cpi=sbt_translate,
+        xlt_busy_per_instr=xlt_busy,
+    )

@@ -1,0 +1,33 @@
+"""The four startup scenarios of Section 3.1.
+
+=================  ===========================================================
+scenario           initial state
+=================  ===========================================================
+DISK_STARTUP       binary on disk; memory, caches, code cache all cold
+MEMORY_STARTUP     binary in memory; caches and code cache cold (the paper's
+                   evaluation scenario: "major context switch")
+CODE_CACHE_WARM    translations still in the main-memory code cache, but the
+                   cache hierarchy is cold ("short context switch")
+STEADY_STATE       everything warm: translated, cached, running full speed
+=================  ===========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Scenario(enum.Enum):
+    DISK_STARTUP = "disk"
+    MEMORY_STARTUP = "memory"
+    CODE_CACHE_WARM = "code-cache"
+    STEADY_STATE = "steady"
+
+
+#: Disk transfer model for scenario 1: cycles charged per byte of binary
+#: loaded (a ~2 GHz core waiting on a ~50 MB/s mid-2000s laptop disk
+#: stream: 2e9 / 50e6 = 40 cycles per byte).
+DISK_CYCLES_PER_BYTE = 40.0
+
+#: Fixed disk access latency in cycles (~8 ms seek+rotate at 2 GHz).
+DISK_ACCESS_CYCLES = 16_000_000.0

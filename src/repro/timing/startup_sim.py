@@ -1,0 +1,284 @@
+"""Event-driven startup simulator (Figs. 2, 8, 9, 10, 11).
+
+Simulates one machine configuration running one workload under a startup
+scenario, at basic-block-region granularity and full paper scale.  All
+startup *events* are discrete and exact:
+
+* **first touch** of a region — cold cache misses for the architected
+  code and data, plus (for BBT configurations) the translation cost of
+  every instruction in the region and the first fetch of the fresh
+  translation;
+* **hot-threshold crossing** — the episode is split at the exact
+  iteration where the region's execution count reaches the threshold;
+  the SBT translation cost is charged and the region switches to
+  optimized (fused macro-op) execution;
+* homogeneous stretches between events advance in closed form, which is
+  exact for the block-level cost model, and are sampled piecewise-
+  linearly on the log-cycle grid.
+
+Cycle attribution follows Fig. 10's categories: BBT translation, BBT
+emulation, SBT translation, SBT emulation, interpretation, x86-mode
+execution, and cold-miss stall.  Decoder activity (Fig. 11) rides the
+sampler's auxiliary channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import MachineConfig
+from repro.timing.caches import ColdFootprintModel
+from repro.timing.pipeline import ModeCosts, mode_costs_for
+from repro.timing.sampler import LogSampler, SampledSeries
+from repro.timing.scenarios import (
+    DISK_ACCESS_CYCLES,
+    DISK_CYCLES_PER_BYTE,
+    Scenario,
+)
+from repro.workloads.trace import Region, Workload
+
+#: Synthetic placement of translated code (the concealed code cache).
+_CODE_CACHE_SHADOW_BASE = 0x2000_0000
+
+
+@dataclass
+class StartupResult:
+    """Outcome of one startup simulation."""
+
+    config_name: str
+    app_name: str
+    scenario: Scenario
+    series: SampledSeries
+    total_cycles: float = 0.0
+    total_instrs: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    m_bbt_instrs: int = 0
+    m_sbt_instrs: int = 0
+    promotions: int = 0
+    sbt_instrs_executed: float = 0.0
+    cold_miss_cycles: float = 0.0
+
+    @property
+    def aggregate_ipc(self) -> float:
+        return self.total_instrs / self.total_cycles \
+            if self.total_cycles else 0.0
+
+    @property
+    def hotspot_coverage(self) -> float:
+        """Fraction of dynamic instructions executed from SBT code."""
+        return self.sbt_instrs_executed / self.total_instrs \
+            if self.total_instrs else 0.0
+
+    def breakdown_fractions(self) -> Dict[str, float]:
+        total = sum(self.breakdown.values())
+        if not total:
+            return {}
+        return {key: value / total
+                for key, value in sorted(self.breakdown.items())}
+
+
+class _RegionState:
+    __slots__ = ("mode", "count", "touched")
+
+    def __init__(self, mode: str = "new", count: int = 0) -> None:
+        self.mode = mode      # 'new' | 'cold' | 'sbt'
+        self.count = count
+        self.touched = False  # cold misses charged yet?
+
+
+class StartupSimulator:
+    """Simulate one (configuration, workload, scenario) combination."""
+
+    def __init__(self, config: MachineConfig, workload: Workload,
+                 scenario: Scenario = Scenario.MEMORY_STARTUP,
+                 samples_per_decade: int = 8) -> None:
+        self.config = config
+        self.workload = workload
+        self.app = workload.app
+        self.scenario = scenario
+        self.costs: ModeCosts = mode_costs_for(config, self.app)
+        self.sampler = LogSampler(first=100.0,
+                                  per_decade=samples_per_decade)
+        self.footprint = ColdFootprintModel()
+        self._regions = workload.regions
+        self._state = [self._initial_region_state(region)
+                       for region in self._regions]
+        self._mem_line_charge = config.memory_latency + config.l2.latency
+        self._l2_line_charge = config.l2.latency
+        self.result = StartupResult(config_name=config.name,
+                                    app_name=self.app.name,
+                                    scenario=scenario,
+                                    series=self.sampler.series)
+
+    # -- initial state per scenario ------------------------------------------
+
+    def _initial_region_state(self, region: Region) -> _RegionState:
+        if self.scenario in (Scenario.CODE_CACHE_WARM,
+                             Scenario.STEADY_STATE):
+            # translations already exist from the previous run: hot
+            # regions are in SBT form, the rest in BBT/cold form
+            if self.config.is_vm and \
+                    region.total_iterations >= self.config.hot_threshold:
+                return _RegionState("sbt", self.config.hot_threshold)
+            return _RegionState("cold", 0)
+        return _RegionState("new", 0)
+
+    @property
+    def _charges_cold_misses(self) -> bool:
+        return self.scenario is not Scenario.STEADY_STATE
+
+    @property
+    def _translates(self) -> bool:
+        return self.scenario in (Scenario.MEMORY_STARTUP,
+                                 Scenario.DISK_STARTUP)
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self) -> StartupResult:
+        if self.scenario is Scenario.DISK_STARTUP:
+            disk_cycles = DISK_ACCESS_CYCLES + \
+                DISK_CYCLES_PER_BYTE * self.app.x86_bytes
+            self._advance(disk_cycles, 0.0, "disk_load")
+
+        threshold = self.config.hot_threshold
+        optimizes = self.config.is_vm
+
+        for episode in self.workload.episodes:
+            region = self._regions[episode.region_index]
+            state = self._state[region.index]
+            iterations = episode.iterations
+
+            if not state.touched:
+                self._charge_cold_misses(region, state)
+                state.touched = True
+            if state.mode == "new":
+                self._translate_bbt(region)
+                state.mode = "cold"
+
+            if optimizes and state.mode == "cold" and \
+                    state.count < threshold <= state.count + iterations:
+                split = threshold - state.count
+                self._execute(region, split, "cold")
+                state.count += split
+                iterations -= split
+                self._promote(region)
+                state.mode = "sbt"
+
+            if iterations > 0:
+                self._execute(region, iterations, state.mode)
+                state.count += iterations
+
+        series = self.sampler.finish()
+        self.result.series = series
+        self.result.total_cycles = self.sampler.cycles
+        self.result.total_instrs = self.sampler.instructions
+        return self.result
+
+    # -- events -------------------------------------------------------------------
+
+    def _charge_cold_misses(self, region: Region,
+                            state: _RegionState) -> None:
+        """Scenario-dependent cold misses at a region's first execution."""
+        if not self._charges_cold_misses:
+            return
+        instrs = region.instr_count
+        cold_cycles = 0.0
+        if self.config.uses_bbt and \
+                self.scenario is Scenario.CODE_CACHE_WARM:
+            # translations survived in memory; only they are fetched
+            cold_cycles += self.footprint.touch(
+                self._shadow_addr(region), self._uop_bytes(region),
+                self._mem_line_charge)
+        else:
+            cold_cycles += self.footprint.touch(
+                region.addr, region.byte_count, self._mem_line_charge)
+        # data-side cold misses during the first executions
+        cold_cycles += (instrs * self.app.data_cold_misses_per_instr
+                        * self._mem_line_charge)
+        if cold_cycles:
+            self.result.cold_miss_cycles += cold_cycles
+            # configurations whose x86 decoders are powered during cold
+            # execution keep them powered through the miss stalls too
+            aux = cold_cycles if self.config.mode in ("ref", "fe") else 0.0
+            self._advance(cold_cycles, 0.0, "cold_miss", aux=aux)
+
+    def _translate_bbt(self, region: Region) -> None:
+        if not (self.config.uses_bbt and self._translates):
+            return
+        instrs = region.instr_count
+        translate_cycles = instrs * self.costs.bbt_translate_cpi
+        busy = instrs * self.costs.xlt_busy_per_instr
+        self.result.m_bbt_instrs += instrs
+        self._advance(translate_cycles, 0.0, "bbt_translation", aux=busy)
+        if self._charges_cold_misses:
+            fill = self.footprint.touch(self._shadow_addr(region),
+                                        self._uop_bytes(region),
+                                        self._l2_line_charge)
+            self.result.cold_miss_cycles += fill
+            self._advance(fill, 0.0, "cold_miss")
+
+    def _promote(self, region: Region) -> None:
+        instrs = region.instr_count
+        self.result.m_sbt_instrs += instrs
+        self.result.promotions += 1
+        if not self._translates:
+            return  # pre-translated scenarios: promotion is free
+        cycles = instrs * self.costs.sbt_translate_cpi
+        self._advance(cycles, 0.0, "sbt_translation")
+        if self._charges_cold_misses:
+            fill = self.footprint.touch(
+                self._shadow_addr(region) + 0x0100_0000,
+                self._uop_bytes(region), self._l2_line_charge)
+            self.result.cold_miss_cycles += fill
+            self._advance(fill, 0.0, "cold_miss")
+
+    def _execute(self, region: Region, iterations: int, mode: str) -> None:
+        instrs = float(region.instr_count) * iterations
+        if mode == "sbt":
+            cycles = instrs * self.costs.sbt_cpi
+            category = "sbt_emulation"
+            aux = 0.0
+            self.result.sbt_instrs_executed += instrs
+        else:
+            emulation = self.config.initial_emulation
+            cycles = instrs * self.costs.cold_execution_cpi(emulation)
+            if emulation == "bbt":
+                category = "bbt_emulation"
+                aux = 0.0
+            elif emulation == "x86-mode":
+                category = "x86_mode"
+                aux = cycles          # frontend x86 decoders active
+            elif emulation == "interp":
+                category = "interp"
+                aux = 0.0
+            else:
+                category = "execution"
+                aux = cycles          # conventional decoders always on
+        self._advance(cycles, instrs, category, aux=aux)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _shadow_addr(self, region: Region) -> int:
+        return _CODE_CACHE_SHADOW_BASE + \
+            (region.addr - self.workload.regions[0].blocks[0].addr)
+
+    def _uop_bytes(self, region: Region) -> int:
+        scale = self.app.uop_bytes_per_instr / self.app.bytes_per_instr
+        return max(int(region.byte_count * scale), 1)
+
+    def _advance(self, cycles: float, instrs: float, category: str,
+                 aux: float = 0.0) -> None:
+        if cycles <= 0 and instrs <= 0:
+            return
+        breakdown = self.result.breakdown
+        breakdown[category] = breakdown.get(category, 0.0) + cycles
+        self.sampler.advance(cycles, instrs, aux)
+
+
+def simulate_startup(config: MachineConfig, workload: Workload,
+                     scenario: Scenario = Scenario.MEMORY_STARTUP,
+                     samples_per_decade: int = 8) -> StartupResult:
+    """Convenience wrapper: build, run, return."""
+    return StartupSimulator(config, workload, scenario,
+                            samples_per_decade).run()

@@ -1,0 +1,218 @@
+"""BBT — the light-weight basic block translator (stage 1 of Fig. 1b).
+
+Produces a straightforward, unoptimized translation of one dynamic basic
+block: cracked micro-ops in architected order, bracketed by an optional
+software-profiling prologue and patchable exit stubs.  No reordering, no
+fusing — exactly the paper's "simple basic block translation ... placed in
+a code cache for repeated reuse".
+
+Layout of a BBT translation::
+
+    [profiling prologue]            (VM.soft / VM.be only)
+    [cracked body, per x86 instruction]
+    [terminator]
+        direct JMP/CALL      -> one exit stub
+        JCC                  -> BC over the fall-through stub + two stubs
+        indirect JMP/CALL/RET -> VMEXIT via R29
+        complex instruction  -> VMCALL INTERP_ONE
+        block-size limit     -> fall-through exit stub
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.fusible.encoding import encode_stream, stream_length
+from repro.isa.fusible.microop import MicroOp
+from repro.memory.address_space import AddressSpace
+from repro.translator.code_cache import (
+    ExitStub,
+    Translation,
+    TranslationDirectory,
+)
+from repro.translator.cracker import crack
+from repro.translator.emit import (
+    EXIT_STUB_BYTES,
+    direct_exit_stub,
+    indirect_exit,
+    profile_prologue,
+    scan_block,
+    vmcall_complex,
+)
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.x86lite.instruction import Instruction
+from repro.isa.x86lite.opcodes import Op
+from repro.isa.x86lite.registers import Cond
+
+#: Where per-translation profiling counters live (concealed VMM data).
+COUNTER_AREA_BASE = 0x2800_0000
+
+#: Measured software-BBT translation overhead, in native instructions per
+#: x86 instruction (Section 3.2: "∆BBT = 105"), and in cycles (Section
+#: 5.3: 83 cycles software, 20 cycles with the XLTx86 assist).  The
+#: functional translator does not consume cycles itself; the timing layer
+#: charges these constants.
+DELTA_BBT_NATIVE_INSTRUCTIONS = 105
+DELTA_BBT_CYCLES_SOFTWARE = 83
+DELTA_BBT_CYCLES_ASSISTED = 20
+
+
+class BasicBlockTranslator:
+    """Stage-1 translator; installs translations into the directory."""
+
+    def __init__(self, directory: TranslationDirectory,
+                 memory: AddressSpace,
+                 embed_profiling: bool = True,
+                 hot_threshold: int = 8000,
+                 max_block_instrs: int = 64,
+                 xlt_unit=None) -> None:
+        self.directory = directory
+        self.memory = memory
+        self.embed_profiling = embed_profiling
+        self.hot_threshold = hot_threshold
+        self.max_block_instrs = max_block_instrs
+        #: optional XLTx86 backend unit (VM.be): the translator's
+        #: decode/crack step runs through the hardware model instead of
+        #: the software path, falling back to software for punted cases.
+        self.xlt_unit = xlt_unit
+        self._next_counter = COUNTER_AREA_BASE
+        # statistics
+        self.blocks_translated = 0
+        self.instrs_translated = 0
+        self.uops_emitted = 0
+        self.hw_assisted_instrs = 0
+        self.hw_punted_instrs = 0
+
+    # -- profiling counters ----------------------------------------------------
+
+    def _allocate_counter(self) -> int:
+        addr = self._next_counter
+        self._next_counter += 4
+        self.memory.write_u32(addr, self.hot_threshold)
+        return addr
+
+    def reset_counter(self, translation: Translation,
+                      value: Optional[int] = None) -> None:
+        """Re-arm a translation's countdown counter (VMM policy)."""
+        if translation.counter_addr is not None:
+            self.memory.write_u32(translation.counter_addr,
+                                  self.hot_threshold if value is None
+                                  else value)
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, entry: int) -> Translation:
+        """Translate the basic block at architected address ``entry``."""
+        instrs = scan_block(self.memory, entry, self.max_block_instrs)
+        translation = Translation(entry=entry, kind="bbt",
+                                  x86_addrs=[entry])
+
+        uops: List[MicroOp] = []
+        counter_addr = None
+        if self.embed_profiling:
+            counter_addr = self._allocate_counter()
+            uops.extend(profile_prologue(counter_addr, entry))
+        translation.counter_addr = counter_addr
+
+        body_instrs = instrs[:-1]
+        last = instrs[-1]
+        for instr in body_instrs:
+            uops.extend(self._crack_one(instr))
+
+        exits: List[_ExitPlan] = []
+        uops, exits = _emit_terminator(uops, last, crack(last))
+
+        # relocate against the cache and materialize linkage records
+        native_addr = self.directory.bbt_cache.reserve()
+        data = encode_stream(uops)
+        translation.native_addr = native_addr
+        translation.instr_count = len(instrs)
+        translation.uop_count = len(uops)
+        translation.uops = uops
+        for plan in exits:
+            stub = ExitStub(stub_addr=native_addr + plan.offset,
+                            kind=plan.kind, x86_target=plan.x86_target)
+            translation.exits.append(stub)
+        for offset, x86_addr in _side_entries(uops):
+            if x86_addr is None:
+                x86_addr = entry
+            translation.side_table[native_addr + offset] = x86_addr
+
+        self.directory.install(data, translation)
+        self.blocks_translated += 1
+        self.instrs_translated += len(instrs)
+        self.uops_emitted += len(uops)
+        return translation
+
+    def _crack_one(self, instr: Instruction) -> List[MicroOp]:
+        """Decode/crack one instruction, via XLTx86 when configured."""
+        if self.xlt_unit is not None:
+            window = self.memory.read(instr.addr, 16)
+            result = self.xlt_unit.translate(window, instr.addr)
+            if not result.flag_cmplx:
+                self.hw_assisted_instrs += 1
+                return result.uops
+            # hardware punted (oversized body etc.): software handles it
+            self.hw_punted_instrs += 1
+        return crack(instr).uops
+
+
+class _ExitPlan:
+    """An exit stub position within an un-relocated micro-op list."""
+
+    def __init__(self, offset: int, kind: str,
+                 x86_target: Optional[int]) -> None:
+        self.offset = offset
+        self.kind = kind
+        self.x86_target = x86_target
+
+
+def _emit_terminator(uops: List[MicroOp], last: Instruction, cracked
+                     ) -> "tuple[List[MicroOp], List[_ExitPlan]]":
+    """Append the block terminator; returns (uops, exit plans)."""
+    exits: List[_ExitPlan] = []
+    uops = list(uops)
+
+    if cracked.cmplx:
+        uops.extend(vmcall_complex(last.addr))
+        return uops, exits
+
+    uops.extend(cracked.uops)  # CTI computation part (push ret, R29, ...)
+
+    if last.op is Op.JCC:
+        uops.append(MicroOp(UOp.BC, cond=Cond(last.cond), imm=EXIT_STUB_BYTES,
+                            x86_addr=last.addr))
+        offset = stream_length(uops)
+        uops.extend(direct_exit_stub(last.next_addr, last.addr))
+        exits.append(_ExitPlan(offset, "fallthrough", last.next_addr))
+        offset = stream_length(uops)
+        uops.extend(direct_exit_stub(last.target, last.addr))
+        exits.append(_ExitPlan(offset, "taken", last.target))
+        return uops, exits
+
+    if last.is_control_transfer and last.target is not None:
+        offset = stream_length(uops)
+        uops.extend(direct_exit_stub(last.target, last.addr))
+        exits.append(_ExitPlan(offset, "jump", last.target))
+        return uops, exits
+
+    if last.is_control_transfer:  # indirect JMP/CALL or RET
+        offset = stream_length(uops)
+        uops.extend(indirect_exit(last.addr))
+        exits.append(_ExitPlan(offset, "indirect", None))
+        return uops, exits
+
+    # block ended at the size limit: fall through to the next instruction
+    offset = stream_length(uops)
+    uops.extend(direct_exit_stub(last.next_addr, last.addr))
+    exits.append(_ExitPlan(offset, "fallthrough", last.next_addr))
+    return uops, exits
+
+
+def _side_entries(uops: List[MicroOp]):
+    """Yield (byte offset, x86_addr) for every VMCALL in the stream."""
+    offset = 0
+    for uop in uops:
+        if uop.op is UOp.VMCALL:
+            yield offset, uop.x86_addr
+        offset += uop.length

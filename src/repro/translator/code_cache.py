@@ -1,0 +1,310 @@
+"""Code caches, the translation lookup table, and chaining.
+
+Translations live in concealed main-memory regions (Fig. 1a's "Basic Block
+Code Cache" and "SuperBlock Code Cache").  Block exits initially leave the
+native machine through ``VMEXIT`` stubs that route through the VMM's
+translation lookup table; once the target translation exists, the stub's
+first micro-op is patched into a direct ``JMP`` — *chaining* — so steady-
+state execution never re-enters the VMM.
+
+Capacity is finite.  When an allocation does not fit, the owning cache is
+flushed wholesale (the management policy of that era's production systems,
+and the mechanism behind the paper's "limited code cache size can cause
+hotspot re-translations" observation); the VMM is notified so it can drop
+lookup entries and profiling state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.fusible.encoding import encode_uop
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.fusible.registers import R_EXIT_TARGET
+from repro.memory.address_space import AddressSpace
+
+#: Default placement of the two code caches.  They are adjacent so that a
+#: chained JMP (signed 24-bit byte offset, +/-8 MiB) can always reach
+#: across them.
+BBT_CACHE_BASE = 0x2000_0000
+BBT_CACHE_CAPACITY = 4 * 1024 * 1024
+SBT_CACHE_BASE = 0x2040_0000
+SBT_CACHE_CAPACITY = 4 * 1024 * 1024
+
+
+class CodeCacheFull(Exception):
+    """Internal signal: an allocation did not fit (triggers a flush)."""
+
+
+@dataclass
+class ExitStub:
+    """One exit point of a translation."""
+
+    stub_addr: int                   # native address of the stub
+    kind: str                        # 'jump'|'fallthrough'|'taken'|
+    #                                  'indirect'|'vmcall'|'loop'
+    x86_target: Optional[int] = None  # None for indirect/vmcall exits
+    chained_to: Optional[int] = None  # native target once patched
+
+
+@dataclass
+class Translation:
+    """One installed translation (basic block or superblock)."""
+
+    entry: int                       # architected entry address
+    kind: str                        # 'bbt' | 'sbt'
+    native_addr: int = 0
+    native_len: int = 0
+    x86_addrs: List[int] = field(default_factory=list)
+    instr_count: int = 0
+    uop_count: int = 0
+    fused_pairs: int = 0
+    exits: List[ExitStub] = field(default_factory=list)
+    #: native VMCALL address -> architected address (precise-state map)
+    side_table: Dict[int, int] = field(default_factory=dict)
+    counter_addr: Optional[int] = None
+    uops: List[MicroOp] = field(default_factory=list)   # for introspection
+
+    @property
+    def fused_fraction(self) -> float:
+        """Fraction of micro-ops that are part of a fused macro-op pair."""
+        if not self.uop_count:
+            return 0.0
+        return 2.0 * self.fused_pairs / self.uop_count
+
+
+class CodeCache:
+    """A bump-allocated native-code region with wholesale flush."""
+
+    def __init__(self, memory: AddressSpace, base: int, capacity: int,
+                 name: str) -> None:
+        self.memory = memory
+        self.base = base
+        self.capacity = capacity
+        self.name = name
+        self._next = base
+        self.translations: List[Translation] = []
+        self.flushes = 0
+        self.bytes_installed_total = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._next - self.base
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.used_bytes
+
+    def would_fit(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def install(self, data: bytes, translation: Translation) -> int:
+        """Write translation bytes into the cache; returns the address.
+
+        The caller must have relocated the translation to
+        ``self.reserve(len(data))`` beforehand (stub offsets are absolute).
+        """
+        if not self.would_fit(len(data)):
+            raise CodeCacheFull(
+                f"{self.name}: {len(data)} bytes do not fit "
+                f"({self.free_bytes} free)")
+        addr = self._next
+        if translation.native_addr != addr:
+            raise ValueError("translation not relocated to reserve() addr")
+        self.memory.write(addr, data)
+        self._next += len(data)
+        translation.native_len = len(data)
+        self.translations.append(translation)
+        self.bytes_installed_total += len(data)
+        return addr
+
+    def reserve(self) -> int:
+        """The address the next install() will use."""
+        return self._next
+
+    def flush(self) -> List[Translation]:
+        """Drop everything; returns the translations that were evicted."""
+        evicted = self.translations
+        self.memory.fill(self.base, self.used_bytes, 0)
+        self._next = self.base
+        self.translations = []
+        self.flushes += 1
+        return evicted
+
+
+class TranslationDirectory:
+    """The VMM's translation lookup table plus the chaining registry.
+
+    Unifies the BBT and SBT caches: lookups prefer SBT translations (the
+    optimized copy supersedes the simple one), chaining requests are
+    resolved against whichever cache a target lands in, and flushes
+    invalidate the affected entries and any chains into the flushed region.
+    """
+
+    def __init__(self, memory: AddressSpace,
+                 bbt_base: int = BBT_CACHE_BASE,
+                 bbt_capacity: int = BBT_CACHE_CAPACITY,
+                 sbt_base: int = SBT_CACHE_BASE,
+                 sbt_capacity: int = SBT_CACHE_CAPACITY) -> None:
+        self.memory = memory
+        self.bbt_cache = CodeCache(memory, bbt_base, bbt_capacity, "bbt")
+        self.sbt_cache = CodeCache(memory, sbt_base, sbt_capacity, "sbt")
+        self._bbt_lookup: Dict[int, Translation] = {}
+        self._sbt_lookup: Dict[int, Translation] = {}
+        #: x86 target -> stubs waiting to be chained to it
+        self._pending_chains: Dict[int, List[ExitStub]] = {}
+        #: native stub address -> (stub, owning translation)
+        self._stub_by_addr: Dict[int, Tuple[ExitStub, Translation]] = {}
+        #: native VMCALL address -> (x86 addr, owning translation)
+        self._side_by_addr: Dict[int, Tuple[int, Translation]] = {}
+        #: BBT entry redirections to superseding SBT copies:
+        #: bbt native_addr -> (bbt translation, original first 4 bytes)
+        self._redirects: Dict[int, Tuple[Translation, bytes]] = {}
+        self.chains_made = 0
+        self.lookups = 0
+        self.lookup_misses = 0
+        self.redirects_made = 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def lookup(self, x86_addr: int) -> Optional[Translation]:
+        """Translation lookup table: SBT first, then BBT."""
+        self.lookups += 1
+        translation = self._sbt_lookup.get(x86_addr)
+        if translation is None:
+            translation = self._bbt_lookup.get(x86_addr)
+        if translation is None:
+            self.lookup_misses += 1
+        return translation
+
+    def has_translation(self, x86_addr: int) -> bool:
+        return x86_addr in self._sbt_lookup or x86_addr in self._bbt_lookup
+
+    def has_sbt(self, x86_addr: int) -> bool:
+        return x86_addr in self._sbt_lookup
+
+    def find_stub(self, native_addr: int
+                  ) -> Optional[Tuple[ExitStub, Translation]]:
+        return self._stub_by_addr.get(native_addr)
+
+    def resolve_side_table(self, native_addr: int
+                           ) -> Optional[Tuple[int, Translation]]:
+        """Map a VMCALL's native address to its architected address."""
+        return self._side_by_addr.get(native_addr)
+
+    # -- installation -------------------------------------------------------
+
+    def cache_for(self, kind: str) -> CodeCache:
+        return self.bbt_cache if kind == "bbt" else self.sbt_cache
+
+    def install(self, data: bytes, translation: Translation) -> None:
+        """Install a finished translation and wire up all linkage."""
+        cache = self.cache_for(translation.kind)
+        cache.install(data, translation)
+        lookup = (self._bbt_lookup if translation.kind == "bbt"
+                  else self._sbt_lookup)
+        lookup[translation.entry] = translation
+        for stub in translation.exits:
+            self._stub_by_addr[stub.stub_addr] = (stub, translation)
+        for native_addr, x86_addr in translation.side_table.items():
+            self._side_by_addr[native_addr] = (x86_addr, translation)
+        # resolve chains waiting for this entry
+        self._resolve_pending(translation.entry, translation.native_addr)
+        # an SBT copy supersedes the BBT copy: patch the BBT entry with a
+        # direct JMP so already-chained paths transition to hotspot code
+        if translation.kind == "sbt":
+            bbt_copy = self._bbt_lookup.get(translation.entry)
+            if bbt_copy is not None and \
+                    bbt_copy.native_addr not in self._redirects:
+                saved = self.memory.read(bbt_copy.native_addr, 4)
+                offset = translation.native_addr - \
+                    (bbt_copy.native_addr + 4)
+                self.memory.write(bbt_copy.native_addr,
+                                  encode_uop(MicroOp(UOp.JMP, imm=offset)))
+                self._redirects[bbt_copy.native_addr] = (bbt_copy, saved)
+                self.redirects_made += 1
+
+    # -- chaining ---------------------------------------------------------------
+
+    def request_chain(self, stub: ExitStub) -> bool:
+        """Chain a stub to its target now, or queue it for later.
+
+        Returns True if the stub was patched immediately.
+        """
+        if stub.x86_target is None or stub.chained_to is not None:
+            return False
+        target = self.lookup(stub.x86_target)
+        if target is not None:
+            self._patch(stub, target.native_addr)
+            return True
+        self._pending_chains.setdefault(stub.x86_target, []).append(stub)
+        return False
+
+    def _resolve_pending(self, x86_target: int, native_addr: int) -> None:
+        for stub in self._pending_chains.pop(x86_target, []):
+            if stub.chained_to is None:
+                self._patch(stub, native_addr)
+
+    def _patch(self, stub: ExitStub, native_target: int) -> None:
+        """Overwrite the stub head with a direct JMP (the chain)."""
+        offset = native_target - (stub.stub_addr + 4)
+        jmp = encode_uop(MicroOp(UOp.JMP, imm=offset))
+        self.memory.write(stub.stub_addr, jmp)
+        stub.chained_to = native_target
+        self.chains_made += 1
+
+    # -- flushing --------------------------------------------------------------
+
+    def flush(self, kind: str) -> List[Translation]:
+        """Flush one cache; unlink every affected structure.
+
+        Stubs elsewhere that were chained *into* the flushed region are
+        un-chained (their VMEXIT path is restored) so execution safely
+        falls back to the lookup table.
+        """
+        cache = self.cache_for(kind)
+        low, high = cache.base, cache.base + cache.capacity
+        evicted = cache.flush()
+        lookup = self._bbt_lookup if kind == "bbt" else self._sbt_lookup
+        lookup.clear()
+        for translation in evicted:
+            for stub in translation.exits:
+                self._stub_by_addr.pop(stub.stub_addr, None)
+            for native_addr in translation.side_table:
+                self._side_by_addr.pop(native_addr, None)
+        # drop pending chain requests originating in the flushed region
+        for target in list(self._pending_chains):
+            remaining = [stub for stub in self._pending_chains[target]
+                         if not low <= stub.stub_addr < high]
+            if remaining:
+                self._pending_chains[target] = remaining
+            else:
+                del self._pending_chains[target]
+        # un-chain surviving stubs that pointed into the flushed region
+        for stub, _owner in self._stub_by_addr.values():
+            if stub.chained_to is not None and \
+                    low <= stub.chained_to < high:
+                self._unpatch(stub)
+        # undo / drop entry redirections touching the flushed region
+        for native_addr in list(self._redirects):
+            bbt_copy, saved = self._redirects[native_addr]
+            if kind == "bbt" and low <= native_addr < high:
+                del self._redirects[native_addr]       # redirect source gone
+            elif kind == "sbt":
+                self.memory.write(native_addr, saved)  # restore BBT entry
+                del self._redirects[native_addr]
+        return evicted
+
+    def flush_all(self) -> None:
+        self.flush("bbt")
+        self.flush("sbt")
+
+    def _unpatch(self, stub: ExitStub) -> None:
+        """Restore a stub head to its original LUI (undo chaining)."""
+        target = stub.x86_target if stub.x86_target is not None else 0
+        lui = encode_uop(MicroOp(UOp.LUI, rd=R_EXIT_TARGET,
+                                 imm=(target >> 13)))
+        self.memory.write(stub.stub_addr, lui)
+        stub.chained_to = None

@@ -1,0 +1,103 @@
+"""Shared emission helpers for the BBT and SBT translators.
+
+Exit stubs have a fixed 12-byte shape so that chaining can patch them in
+place::
+
+    LUI   R29, hi19(x86_target)     ; 4 bytes  <- overwritten by JMP when
+    ORI   R29, R29, lo13(target)    ; 4 bytes     the stub is chained
+    VMEXIT R29                      ; 4 bytes
+
+The VMM dispatcher receives the architected continuation address in R29
+whether the exit was direct (built by the stub) or indirect (materialized
+by the cracked body).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import UOp, VMService
+from repro.isa.fusible.registers import (
+    R_EXIT_TARGET,
+    R_SCRATCH0,
+    R_SCRATCH1,
+    R_SCRATCH2,
+)
+from repro.isa.x86lite.decoder import decode_at
+from repro.isa.x86lite.instruction import Instruction
+from repro.isa.x86lite.registers import Cond
+
+#: Encoded size of a direct exit stub (LUI + ORI + VMEXIT).
+EXIT_STUB_BYTES = 12
+
+#: Encoded size of the software-profiling prologue.
+PROFILE_PROLOGUE_BYTES = 36
+
+
+def direct_exit_stub(x86_target: int, x86_addr: int) -> List[MicroOp]:
+    """The three-micro-op patchable exit stub."""
+    return [
+        MicroOp(UOp.LUI, rd=R_EXIT_TARGET, imm=(x86_target >> 13) & 0x7FFFF,
+                x86_addr=x86_addr),
+        MicroOp(UOp.ORI, rd=R_EXIT_TARGET, rs1=R_EXIT_TARGET,
+                imm=x86_target & 0x1FFF, x86_addr=x86_addr),
+        MicroOp(UOp.VMEXIT, rs1=R_EXIT_TARGET, x86_addr=x86_addr),
+    ]
+
+
+def indirect_exit(x86_addr: int) -> List[MicroOp]:
+    """Exit through R29, which the cracked body already loaded."""
+    return [MicroOp(UOp.VMEXIT, rs1=R_EXIT_TARGET, x86_addr=x86_addr)]
+
+
+def profile_prologue(counter_addr: int, block_entry: int) -> List[MicroOp]:
+    """Software profiling embedded in BBT code (VM.soft / VM.be).
+
+    Decrements the block's countdown counter; on reaching zero, calls into
+    the VMM (``VMCALL PROFILE``) which applies the hot-threshold policy.
+    Architected flags are preserved around the countdown arithmetic.
+    """
+    high = (counter_addr >> 13) & 0x7FFFF
+    low = counter_addr & 0x1FFF
+    return [
+        MicroOp(UOp.RDFLG, rd=R_SCRATCH2, x86_addr=block_entry),
+        MicroOp(UOp.LUI, rd=R_SCRATCH0, imm=high, x86_addr=block_entry),
+        MicroOp(UOp.ORI, rd=R_SCRATCH0, rs1=R_SCRATCH0, imm=low,
+                x86_addr=block_entry),
+        MicroOp(UOp.LDW, rd=R_SCRATCH1, rs1=R_SCRATCH0, imm=0,
+                x86_addr=block_entry),
+        MicroOp(UOp.SUBI, rd=R_SCRATCH1, rs1=R_SCRATCH1, imm=1,
+                setflags=True, x86_addr=block_entry),
+        MicroOp(UOp.STW, rd=R_SCRATCH1, rs1=R_SCRATCH0, imm=0,
+                x86_addr=block_entry),
+        MicroOp(UOp.BC, cond=Cond.NE, imm=4, x86_addr=block_entry),
+        MicroOp(UOp.VMCALL, imm=int(VMService.PROFILE),
+                x86_addr=block_entry),
+        MicroOp(UOp.WRFLG, rs1=R_SCRATCH2, x86_addr=block_entry),
+    ]
+
+
+def vmcall_complex(x86_addr: int) -> List[MicroOp]:
+    """Punt a complex architected instruction to VMM software."""
+    return [MicroOp(UOp.VMCALL, imm=int(VMService.INTERP_ONE),
+                    x86_addr=x86_addr)]
+
+
+def scan_block(memory, entry: int, max_instrs: int = 64
+               ) -> List[Instruction]:
+    """Scan one dynamic basic block starting at ``entry``.
+
+    The block ends at (and includes) the first control transfer or complex
+    instruction, or after ``max_instrs`` instructions.
+    """
+    instrs: List[Instruction] = []
+    pc = entry
+    while len(instrs) < max_instrs:
+        instr = decode_at(memory, pc)
+        instrs.append(instr)
+        if instr.is_control_transfer or instr.is_complex \
+                or instr.width == 16:
+            break
+        pc = instr.next_addr
+    return instrs

@@ -1,0 +1,189 @@
+"""Macro-op fusion — the SBT's signature optimization (Hu & Smith).
+
+Dependent pairs of single-cycle micro-ops are reordered to be adjacent and
+marked with the fusible head bit; the macro-op pipeline then processes each
+pair as a single entity through issue, execution (collapsed 3-input ALU)
+and retirement.  Pairs may span original x86 instruction boundaries — the
+property that distinguishes the co-designed fusing from conventional x86
+micro-op fusion, and the source of its IPC advantage.
+
+Legality model:
+
+* The *head* must be a single-cycle ALU op producing a register; the
+  *tail* must consume that register.
+* A pair carries at most three distinct source registers (the collapsed
+  ALU has three read ports).
+* The tail is hoisted up to sit behind its head; hoisting must not cross
+  a micro-op it conflicts with (register, flag, or memory dependences).
+* Control transfers and VMM barriers delimit *regions*; nothing moves
+  across them, which also preserves precise architected state at every
+  side exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import (
+    BARRIER_OPS,
+    FLAG_READING_UOPS,
+    FUSIBLE_HEAD_OPS,
+    FUSIBLE_TAIL_OPS,
+    UOp,
+)
+
+#: How far ahead (in micro-ops) the pairing pass searches for a tail.
+DEFAULT_WINDOW = 8
+
+#: Read-port budget of the collapsed macro-op ALU.
+MAX_PAIR_SOURCES = 3
+
+
+@dataclass
+class FusionStats:
+    """Outcome accounting for one fusion pass."""
+
+    regions: int = 0
+    pairs: int = 0
+    uops_total: int = 0
+    tails_hoisted: int = 0
+
+    @property
+    def fused_fraction(self) -> float:
+        """Fraction of micro-ops covered by fused pairs."""
+        if not self.uops_total:
+            return 0.0
+        return 2.0 * self.pairs / self.uops_total
+
+
+def _is_boundary(uop: MicroOp) -> bool:
+    return uop.is_branch or uop.op in BARRIER_OPS
+
+
+def _reads_flags(uop: MicroOp) -> bool:
+    return uop.op in FLAG_READING_UOPS
+
+
+def _conflict(first: MicroOp, second: MicroOp) -> bool:
+    """True if ``second`` cannot move above ``first``."""
+    first_dest = first.dest()
+    second_dest = second.dest()
+    if first_dest is not None and first_dest in second.sources():
+        return True  # RAW
+    if second_dest is not None and second_dest in first.sources():
+        return True  # WAR
+    if first_dest is not None and first_dest == second_dest:
+        return True  # WAW
+    # flags as a single resource
+    if first.writes_flags and (second.writes_flags or _reads_flags(second)):
+        return True
+    if _reads_flags(first) and second.writes_flags:
+        return True
+    # memory ordering: stores are fences against any memory op
+    if first.is_store and (second.is_store or second.is_load):
+        return True
+    if second.is_store and first.is_load:
+        return True
+    return False
+
+
+def _pair_sources(head: MicroOp, tail: MicroOp) -> int:
+    head_dest = head.dest()
+    sources = set(head.sources())
+    sources.update(reg for reg in tail.sources() if reg != head_dest)
+    return len(sources)
+
+
+def _can_pair(head: MicroOp, tail: MicroOp) -> bool:
+    if head.op not in FUSIBLE_HEAD_OPS:
+        return False
+    if tail.op is UOp.BC:
+        # compare-branch fusion: the dependence is through the flags
+        return head.writes_flags and \
+            _pair_sources(head, tail) <= MAX_PAIR_SOURCES
+    if head.dest() is None:
+        return False
+    if tail.op not in FUSIBLE_TAIL_OPS:
+        return False
+    if head.dest() not in tail.sources():
+        return False
+    return _pair_sources(head, tail) <= MAX_PAIR_SOURCES
+
+
+def _fuse_region(region: List[MicroOp], window: int,
+                 stats: FusionStats) -> List[MicroOp]:
+    """Greedy in-order pairing with bounded tail hoisting."""
+    uops = list(region)
+    index = 0
+    while index < len(uops) - 1:
+        head = uops[index]
+        if head.fused or head.op not in FUSIBLE_HEAD_OPS \
+                or head.dest() is None:
+            index += 1
+            continue
+        paired = False
+        limit = min(len(uops), index + 1 + window)
+        for scan in range(index + 1, limit):
+            tail = uops[scan]
+            if tail.fused:
+                break  # never split an existing pair
+            if not _can_pair(head, tail):
+                if _conflict(head, tail) and head.dest() in tail.sources():
+                    break  # the consumer exists but cannot pair; stop
+                continue
+            # legality of hoisting the tail up behind the head
+            blocked = any(_conflict(uops[between], tail)
+                          for between in range(index + 1, scan))
+            if blocked:
+                continue
+            del uops[scan]
+            uops.insert(index + 1, tail)
+            uops[index] = head.with_fused(True)
+            stats.pairs += 1
+            if scan != index + 1:
+                stats.tails_hoisted += 1
+            index += 2
+            paired = True
+            break
+        if not paired:
+            index += 1
+    return uops
+
+
+def fuse_microops(uops: List[MicroOp], window: int = DEFAULT_WINDOW
+                  ) -> Tuple[List[MicroOp], FusionStats]:
+    """Fuse dependent pairs across an entire micro-op body.
+
+    Control transfers and VMM barriers split the body into regions; pairs
+    never span regions, but the flag producer feeding a region-ending BC
+    may fuse with it (compare-branch fusion).
+    """
+    stats = FusionStats(uops_total=len(uops))
+    out: List[MicroOp] = []
+    region: List[MicroOp] = []
+
+    def close_region(boundary: Optional[MicroOp]) -> None:
+        if region:
+            stats.regions += 1
+            fused = _fuse_region(region, window, stats)
+            # compare-branch fusion with the boundary BC
+            if boundary is not None and boundary.op is UOp.BC and fused:
+                last = fused[-1]
+                if not last.fused and last.writes_flags \
+                        and _can_pair(last, boundary):
+                    fused[-1] = last.with_fused(True)
+                    stats.pairs += 1
+            out.extend(fused)
+            region.clear()
+        if boundary is not None:
+            out.append(boundary)
+
+    for uop in uops:
+        if _is_boundary(uop):
+            close_region(uop)
+        else:
+            region.append(uop)
+    close_region(None)
+    return out, stats

@@ -1,0 +1,131 @@
+"""Superblock formation from runtime profiles.
+
+Once a block entry crosses the hot threshold, the VMM organizes the hot
+region into a *superblock* (Hwu et al.): a single-entry, multiple-exit
+straight-line trace that follows the biased direction of each conditional
+branch recorded by the edge profile.  Side exits cover the unlikely
+directions; if the trace closes back on its own head, the superblock ends
+in a native loop-back jump and the hot loop runs entirely inside the code
+cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.x86lite.instruction import Instruction
+from repro.isa.x86lite.opcodes import Op
+from repro.translator.emit import scan_block
+
+#: Default superblock size cap, in architected instructions.
+MAX_SUPERBLOCK_INSTRS = 200
+
+#: A conditional edge must carry at least this fraction of outgoing flow
+#: for the trace to follow it.
+DEFAULT_BIAS = 0.6
+
+
+@dataclass
+class SuperblockBlock:
+    """One constituent basic block of a superblock trace."""
+
+    entry: int
+    instrs: List[Instruction]
+    #: how the trace leaves this block: 'taken'/'fallthrough' (followed
+    #: JCC), 'jump' (direct JMP straightened away), 'fallthrough-limit'
+    #: (size-limited block), or None for the final block.
+    followed: Optional[str] = None
+
+    @property
+    def last(self) -> Instruction:
+        return self.instrs[-1]
+
+
+@dataclass
+class Superblock:
+    """A formed superblock trace, ready for the SBT."""
+
+    head: int
+    blocks: List[SuperblockBlock] = field(default_factory=list)
+    #: 'loop' when the trace closes on its head; otherwise the final
+    #: block's own terminator decides the tail.
+    loops_to_head: bool = False
+
+    @property
+    def entries(self) -> List[int]:
+        return [block.entry for block in self.blocks]
+
+    @property
+    def instr_count(self) -> int:
+        return sum(len(block.instrs) for block in self.blocks)
+
+    @property
+    def side_exit_count(self) -> int:
+        return sum(1 for block in self.blocks
+                   if block.followed in ("taken", "fallthrough"))
+
+
+def form_superblock(memory, seed: int, edges,
+                    max_instrs: int = MAX_SUPERBLOCK_INSTRS,
+                    bias: float = DEFAULT_BIAS,
+                    max_blocks: int = 32) -> Superblock:
+    """Grow a superblock from ``seed`` along the profiled hot path.
+
+    ``edges`` provides ``biased_successor(entry, bias)`` (an
+    :class:`~repro.vmm.profiling.EdgeProfile`, or anything with that
+    surface; the hardware-profiled VM.fe passes a static fallback that
+    returns None, yielding single-block superblocks extended only through
+    unconditional jumps).
+    """
+    superblock = Superblock(head=seed)
+    visited = set()
+    pc = seed
+
+    while len(superblock.blocks) < max_blocks and \
+            superblock.instr_count < max_instrs:
+        instrs = scan_block(memory, pc)
+        block = SuperblockBlock(entry=pc, instrs=instrs)
+        superblock.blocks.append(block)
+        visited.add(pc)
+
+        last = block.last
+        if last.is_complex or last.width == 16:
+            break
+        if last.op in (Op.RET, Op.CALL) or \
+                (last.is_control_transfer and last.target is None):
+            break  # calls/returns/indirects end the trace
+
+        if last.op is Op.JMP:
+            next_pc = last.target
+            block.followed = "jump"
+        elif last.op is Op.JCC:
+            biased = edges.biased_successor(pc, bias)
+            if biased == last.target:
+                block.followed = "taken"
+                next_pc = last.target
+            elif biased == last.next_addr:
+                block.followed = "fallthrough"
+                next_pc = last.next_addr
+            else:
+                block.followed = None
+                break
+        elif not last.is_control_transfer:
+            # block hit the scan size limit; continue straight through
+            block.followed = "fallthrough-limit"
+            next_pc = last.next_addr
+        else:  # pragma: no cover - cases above are exhaustive
+            break
+
+        if next_pc == superblock.head:
+            superblock.loops_to_head = True
+            break
+        if next_pc in visited:
+            # Re-entering the middle of the trace (a non-head cycle):
+            # stop here and let the block's own terminator produce a
+            # normal exit stub toward the revisited address.
+            block.followed = None
+            break
+        pc = next_pc
+
+    return superblock

@@ -1,0 +1,17 @@
+"""The concealed VMM runtime of the co-designed VM (Fig. 1).
+
+Orchestrates staged emulation: dispatch between the code caches, the
+translators and (for complex instructions) the interpreter; maintains
+profiling state and the hot-threshold policy; and performs precise
+architected-state mapping at VM exits and exceptions.
+"""
+
+from repro.vmm.precise_state import (
+    copy_arch_to_native,
+    copy_native_to_arch,
+)
+from repro.vmm.profiling import EdgeProfile, SoftwareProfiler
+from repro.vmm.runtime import VMRuntime, VMRuntimeError
+
+__all__ = ["EdgeProfile", "SoftwareProfiler", "VMRuntime", "VMRuntimeError",
+           "copy_arch_to_native", "copy_native_to_arch"]

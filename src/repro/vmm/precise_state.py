@@ -1,0 +1,34 @@
+"""Precise architected-state mapping (Fig. 1b's shaded boundary).
+
+The co-design contract keeps architected state *live* in the native
+machine: GPR ``r`` is native register ``r`` (R0..R7), and the architected
+flags are the native machine's flags.  Mapping between the two is
+therefore a straight copy — which is exactly what makes VM exits cheap and
+what lets VMM software reconstruct precise x86 state at any architected
+instruction boundary.
+
+Memory is shared by construction (one physical address space), so only
+registers and flags move.
+"""
+
+from __future__ import annotations
+
+from repro.isa.fusible.machine import FusibleMachine
+from repro.isa.fusible.registers import ARCH_REG_COUNT
+from repro.isa.x86lite.state import X86State
+
+
+def copy_arch_to_native(state: X86State, machine: FusibleMachine) -> None:
+    """Load architected registers/flags into the native machine."""
+    for index in range(ARCH_REG_COUNT):
+        machine.regs[index] = state.regs[index]
+    machine.cf, machine.zf = state.cf, state.zf
+    machine.sf, machine.of = state.sf, state.of
+
+
+def copy_native_to_arch(machine: FusibleMachine, state: X86State) -> None:
+    """Materialize precise architected registers/flags from the machine."""
+    for index in range(ARCH_REG_COUNT):
+        state.regs[index] = machine.regs[index]
+    state.cf, state.zf = machine.cf, machine.zf
+    state.sf, state.of = machine.sf, machine.of

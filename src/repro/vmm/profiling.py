@@ -1,0 +1,92 @@
+"""Software profiling for hotspot detection and superblock formation.
+
+In the software VM configurations (VM.soft, VM.be), profiling code is
+embedded in BBT translations: each block entry bumps an execution counter,
+and block exits record taken/fall-through edges.  When a counter crosses
+the hot threshold, the VMM invokes the SBT on the detected region (Fig. 1b).
+
+The profiler also doubles as the data source for superblock formation: the
+SBT follows the most-biased successor edges recorded here (the paper's
+"dynamic superblocks").
+
+The VM.fe configuration cannot embed profiling in translations (there are
+none for cold code); it uses the hardware branch-behavior buffer in
+:mod:`repro.hwassist.hotspot_detector` instead.  Both expose the same
+``record_entry``/``take_hot`` surface so the runtime is agnostic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+
+class EdgeProfile:
+    """Directed control-flow edge counts between basic-block entries."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[int, Dict[int, int]] = defaultdict(dict)
+
+    def record(self, source: int, target: int, count: int = 1) -> None:
+        successors = self._edges[source]
+        successors[target] = successors.get(target, 0) + count
+
+    def successors(self, source: int) -> Dict[int, int]:
+        return dict(self._edges.get(source, {}))
+
+    def biased_successor(self, source: int,
+                         bias: float = 0.6) -> Optional[int]:
+        """The dominant successor if it exceeds ``bias`` of outgoing flow."""
+        successors = self._edges.get(source)
+        if not successors:
+            return None
+        total = sum(successors.values())
+        target, count = max(successors.items(), key=lambda item: item[1])
+        if total and count / total >= bias:
+            return target
+        return None
+
+
+class SoftwareProfiler:
+    """Block execution counters with a hot-threshold watermark."""
+
+    def __init__(self, hot_threshold: int) -> None:
+        if hot_threshold < 1:
+            raise ValueError("hot threshold must be >= 1")
+        self.hot_threshold = hot_threshold
+        self.counters: Dict[int, int] = defaultdict(int)
+        self.edges = EdgeProfile()
+        self._hot_pending: List[int] = []
+        self._hot_reported: set = set()
+
+    def record_entry(self, block_addr: int, count: int = 1) -> None:
+        """Count one (or ``count``) executions of a block entry."""
+        new_value = self.counters[block_addr] + count
+        self.counters[block_addr] = new_value
+        if new_value >= self.hot_threshold and \
+                block_addr not in self._hot_reported:
+            self._hot_reported.add(block_addr)
+            self._hot_pending.append(block_addr)
+
+    def record_edge(self, source: int, target: int, count: int = 1) -> None:
+        self.edges.record(source, target, count)
+
+    def take_hot(self) -> Optional[int]:
+        """Pop one newly-hot block entry, if any."""
+        if self._hot_pending:
+            return self._hot_pending.pop(0)
+        return None
+
+    def is_hot(self, block_addr: int) -> bool:
+        return self.counters.get(block_addr, 0) >= self.hot_threshold
+
+    def forget(self, block_addr: int) -> None:
+        """Drop state for an evicted block (re-translation starts fresh)."""
+        self.counters.pop(block_addr, None)
+        self._hot_reported.discard(block_addr)
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.edges = EdgeProfile()
+        self._hot_pending.clear()
+        self._hot_reported.clear()

@@ -1,0 +1,321 @@
+"""The VMM runtime system — the staged-emulation controller of Fig. 1b.
+
+Responsibilities, mirroring the paper's component (4):
+
+* select between BBT and SBT for translation;
+* dispatch through the translation lookup table and run the native
+  machine inside the code caches;
+* service VM exits: chain exit stubs, interpret complex instructions
+  precisely, apply the hot-threshold policy when embedded profiling
+  fires;
+* manage code-cache pressure (flush and re-translate);
+* recover precise architected state at exceptions.
+
+Two execution strategies cover the paper's configurations:
+
+* **translated** (VM.soft, VM.be): cold code runs via BBT translations
+  with embedded software profiling.
+* **interpretive** (VM.fe in x86-mode, and the Interp+SBT configuration
+  of Fig. 2): cold code is emulated instruction-at-a-time — by the
+  dual-mode decoder's x86-mode in VM.fe, by the software interpreter in
+  Interp+SBT — while a hotspot detector watches block entries.
+
+Both converge to SBT superblocks for hotspots; the functional behaviour
+of hot code is identical across configurations, which the cross-
+configuration equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.interp.interpreter import Interpreter
+from repro.isa.fusible.machine import (
+    ExitEvent,
+    FusibleMachine,
+    NativeMachineError,
+)
+from repro.isa.fusible.opcodes import VMService
+from repro.isa.x86lite.state import X86State
+from repro.hwassist.hotspot_detector import BranchBehaviorBuffer
+from repro.translator.bbt import BasicBlockTranslator
+from repro.translator.code_cache import (
+    CodeCacheFull,
+    TranslationDirectory,
+    Translation,
+)
+from repro.translator.sbt import SuperblockTranslator
+from repro.vmm.precise_state import copy_arch_to_native, copy_native_to_arch
+from repro.vmm.profiling import SoftwareProfiler
+
+#: Counter value used to disable an already-promoted block's profiling.
+_COUNTER_DISABLED = 0x4000_0000
+
+
+class VMRuntimeError(Exception):
+    """Raised on budget exhaustion or inconsistent VM state."""
+
+
+class VMRuntime:
+    """Orchestrates staged emulation over one architected machine state."""
+
+    def __init__(self, state: X86State,
+                 hot_threshold: int = 8000,
+                 initial_emulation: str = "bbt",
+                 profiler: Union[SoftwareProfiler, BranchBehaviorBuffer,
+                                 None] = None,
+                 directory: Optional[TranslationDirectory] = None,
+                 superblock_bias: float = 0.6,
+                 max_superblock_instrs: int = 200,
+                 enable_fusion: bool = True,
+                 enable_chaining: bool = True,
+                 max_block_instrs: int = 64) -> None:
+        if initial_emulation not in ("bbt", "interp", "x86-mode"):
+            raise ValueError(f"bad initial emulation {initial_emulation!r}")
+        self.state = state
+        self.memory = state.memory
+        self.hot_threshold = hot_threshold
+        self.initial_emulation = initial_emulation
+        self.enable_chaining = enable_chaining
+
+        self.machine = FusibleMachine(self.memory)
+        self.directory = directory if directory is not None \
+            else TranslationDirectory(self.memory)
+        self.profiler = profiler if profiler is not None \
+            else SoftwareProfiler(hot_threshold)
+        self.bbt = BasicBlockTranslator(
+            self.directory, self.memory,
+            embed_profiling=(initial_emulation == "bbt"),
+            hot_threshold=hot_threshold,
+            max_block_instrs=max_block_instrs)
+        self.sbt = SuperblockTranslator(
+            self.directory, self.memory, bias=superblock_bias,
+            max_instrs=max_superblock_instrs, enable_fusion=enable_fusion)
+        self.interp = Interpreter(state)
+
+        # statistics
+        self.dispatches = 0
+        self.vm_exits = 0
+        self.interp_one_calls = 0
+        self.profile_calls = 0
+        self.bbt_full_flushes = 0
+        self.sbt_full_flushes = 0
+        self.sbt_retranslations = 0
+        self.instructions_interpreted = 0
+        self.total_uops_executed = 0
+
+    # -- top-level run loops ------------------------------------------------
+
+    def run(self, max_uops: int = 50_000_000,
+            max_dispatches: int = 1_000_000) -> None:
+        """Emulate until the architected program halts."""
+        if self.initial_emulation == "bbt":
+            self._run_translated(max_uops, max_dispatches)
+        else:
+            self._run_interpretive(max_uops, max_dispatches)
+
+    def _run_translated(self, max_uops: int, max_dispatches: int) -> None:
+        """VM.soft / VM.be style: everything runs out of the code caches."""
+        budget = max_uops
+        for _ in range(max_dispatches):
+            if self.state.halted:
+                return
+            self.dispatches += 1
+            translation = self._lookup_or_translate(self.state.eip)
+            copy_arch_to_native(self.state, self.machine)
+            try:
+                event = self.machine.run(translation.native_addr,
+                                         max_uops=budget)
+            except NativeMachineError as exc:
+                raise VMRuntimeError(str(exc)) from exc
+            budget -= self._service(event, budget)
+            if budget <= 0:
+                raise VMRuntimeError("micro-op budget exhausted")
+        raise VMRuntimeError("dispatch budget exhausted")
+
+    def _run_interpretive(self, max_uops: int,
+                          max_dispatches: int) -> None:
+        """VM.fe x86-mode / Interp+SBT: emulate cold code one instruction
+        at a time, watching block entries for hotspots."""
+        budget = max_uops
+        for _ in range(max_dispatches):
+            if self.state.halted:
+                return
+            self.dispatches += 1
+            entry = self.state.eip
+            sbt_translation = self.directory.lookup(entry)
+            if sbt_translation is not None:
+                copy_arch_to_native(self.state, self.machine)
+                try:
+                    event = self.machine.run(sbt_translation.native_addr,
+                                             max_uops=budget)
+                except NativeMachineError as exc:
+                    raise VMRuntimeError(str(exc)) from exc
+                budget -= self._service(event, budget)
+                if budget <= 0:
+                    raise VMRuntimeError("micro-op budget exhausted")
+                continue
+            self.profiler.record_entry(entry)
+            self._maybe_optimize_hotspots()
+            # emulate one basic block (up to and including its CTI)
+            while not self.state.halted:
+                instr = self.interp.step()
+                self.instructions_interpreted += 1
+                if instr.is_control_transfer:
+                    self.profiler.record_edge(entry, self.state.eip)
+                    break
+                # non-CTI block boundary: a translated successor exists
+                if self.directory.has_translation(self.state.eip):
+                    break
+        else:
+            raise VMRuntimeError("dispatch budget exhausted")
+
+    # -- translation policy ----------------------------------------------------
+
+    def _lookup_or_translate(self, entry: int) -> Translation:
+        translation = self.directory.lookup(entry)
+        if translation is not None:
+            return translation
+        try:
+            return self.bbt.translate(entry)
+        except CodeCacheFull:
+            self.directory.flush("bbt")
+            self.bbt_full_flushes += 1
+            return self.bbt.translate(entry)
+
+    def _optimize(self, entry: int) -> Optional[Translation]:
+        """Run the SBT on a newly hot region."""
+        if self.directory.has_sbt(entry):
+            return None
+        edges = getattr(self.profiler, "edges", _NO_EDGES)
+        try:
+            translation = self.sbt.translate(entry, edges)
+        except CodeCacheFull:
+            self.directory.flush("sbt")
+            self.sbt_full_flushes += 1
+            self.sbt_retranslations += 1
+            translation = self.sbt.translate(entry, edges)
+        return translation
+
+    def _maybe_optimize_hotspots(self) -> None:
+        while True:
+            hot_entry = self.profiler.take_hot()
+            if hot_entry is None:
+                return
+            self._optimize(hot_entry)
+
+    # -- VM exit servicing --------------------------------------------------------
+
+    def _service(self, event: ExitEvent, budget: int = 10_000_000) -> int:
+        """Handle one VM exit; returns micro-ops consumed by the episode."""
+        consumed = self.machine.uops_executed
+        self.machine.uops_executed = 0
+        self.total_uops_executed += consumed
+        copy_native_to_arch(self.machine, self.state)
+        self.vm_exits += 1
+
+        if event.kind == "halt":
+            self.state.halted = True
+            return consumed
+
+        if event.kind == "vmexit":
+            target = event.value
+            self.state.eip = target
+            self._note_exit_edge(event, target)
+            return consumed
+
+        # vmcall
+        service = VMService(event.value)
+        if service is VMService.PROFILE:
+            self.profile_calls += 1
+            self._service_profile(event)
+            # resume inside the BBT prologue (machine state is intact)
+            remaining = max(budget - consumed, 1)
+            try:
+                resumed = self.machine.run(event.resume_pc,
+                                           max_uops=remaining)
+            except NativeMachineError as exc:
+                raise VMRuntimeError(str(exc)) from exc
+            return consumed + self._service(resumed, remaining)
+        if service is VMService.INTERP_ONE:
+            self.interp_one_calls += 1
+            self._service_interp_one(event)
+            return consumed
+        raise VMRuntimeError(f"unknown VMCALL service {event.value}")
+
+    def _note_exit_edge(self, event: ExitEvent, target: int) -> None:
+        """Record the control edge and chain the exiting stub."""
+        found = self.directory.find_stub(event.native_pc)
+        if found is None:
+            found = self.directory.find_stub(event.native_pc - 8)
+        if found is None:
+            return  # exit from non-directory code (bare-metal demos)
+        stub, owner = found
+        self.profiler.record_edge(owner.entry, target)
+        if self.enable_chaining:
+            self.directory.request_chain(stub)
+        self._maybe_optimize_hotspots()
+
+    def _service_profile(self, event: ExitEvent) -> None:
+        """A BBT block's countdown counter hit zero: apply hot policy."""
+        resolved = self.directory.resolve_side_table(event.native_pc)
+        if resolved is None:
+            raise VMRuntimeError(
+                f"PROFILE vmcall without side-table entry at "
+                f"{event.native_pc:#x}")
+        entry, translation = resolved
+        self.profiler.record_entry(entry, self.hot_threshold)
+        self._maybe_optimize_hotspots()
+        # disable further countdowns on the (now superseded) BBT copy
+        self.bbt.reset_counter(translation, _COUNTER_DISABLED)
+
+    def _service_interp_one(self, event: ExitEvent) -> None:
+        """Precisely emulate one complex instruction in VMM software.
+
+        This is also the precise-exception path: any architected
+        exception (e.g. divide error) propagates from here with exact
+        architected state, reconstructed from the native registers.
+        """
+        resolved = self.directory.resolve_side_table(event.native_pc)
+        if resolved is None:
+            raise VMRuntimeError(
+                f"INTERP_ONE vmcall without side-table entry at "
+                f"{event.native_pc:#x}")
+        x86_addr, _translation = resolved
+        self.state.eip = x86_addr
+        self.interp.step()
+        self.instructions_interpreted += 1
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot of runtime counters across all components."""
+        return {
+            "dispatches": self.dispatches,
+            "vm_exits": self.vm_exits,
+            "interp_one_calls": self.interp_one_calls,
+            "profile_calls": self.profile_calls,
+            "instructions_interpreted": self.instructions_interpreted,
+            "blocks_translated": self.bbt.blocks_translated,
+            "bbt_instrs_translated": self.bbt.instrs_translated,
+            "superblocks_translated": self.sbt.superblocks_translated,
+            "sbt_instrs_translated": self.sbt.instrs_translated,
+            "pairs_fused": self.sbt.pairs_fused,
+            "uops_executed": self.total_uops_executed,
+            "fused_pairs_seen": self.machine.fused_pairs_seen,
+            "chains_made": self.directory.chains_made,
+            "lookups": self.directory.lookups,
+            "bbt_flushes": self.directory.bbt_cache.flushes,
+            "sbt_flushes": self.directory.sbt_cache.flushes,
+            "sbt_retranslations": self.sbt_retranslations,
+        }
+
+
+class _StaticEdges:
+    """Edge-profile stand-in when only hardware detection exists (VM.fe)."""
+
+    def biased_successor(self, source: int, bias: float = 0.6):
+        return None
+
+
+_NO_EDGES = _StaticEdges()

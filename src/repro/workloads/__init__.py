@@ -1,0 +1,29 @@
+"""Workload models and programs.
+
+* :mod:`~repro.workloads.winstone` — synthetic statistical models of the
+  ten Winstone2004 Business applications (the paper's benchmark suite is
+  proprietary; DESIGN.md §2 documents the substitution).
+* :mod:`~repro.workloads.trace` — block-level episode traces realized
+  from an application model, consumed by the startup simulator.
+* :mod:`~repro.workloads.programs` — real, runnable x86lite programs for
+  the functional VM (examples and differential tests).
+* :mod:`~repro.workloads.spec` — a SPECint-like model used for the
+  steady-state fusion-rate contrast (Section 2 of the paper).
+"""
+
+from repro.workloads.winstone import (
+    AppProfile,
+    WINSTONE_APPS,
+    winstone_app,
+    winstone_suite,
+)
+from repro.workloads.trace import Block, Episode, Region, Workload, \
+    generate_workload
+from repro.workloads.spec import spec_like_profile
+from repro.workloads.programs import EXPECTED_OUTPUT, PROGRAMS
+
+__all__ = [
+    "AppProfile", "Block", "EXPECTED_OUTPUT", "Episode", "PROGRAMS",
+    "Region", "WINSTONE_APPS", "Workload", "generate_workload",
+    "spec_like_profile", "winstone_app", "winstone_suite",
+]

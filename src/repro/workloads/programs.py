@@ -1,0 +1,403 @@
+"""Real, runnable x86lite programs.
+
+These exercise the functional VM end to end (assembler → staged
+translation → native micro-op execution) in examples and tests.  Each
+entry is assembly source; assemble with
+:func:`repro.isa.x86lite.assemble`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Iterative Fibonacci; prints fib(n) for n = 40.
+FIBONACCI = """
+start:
+    mov eax, 0
+    mov ebx, 1
+    mov ecx, 40
+fib_loop:
+    mov edx, eax
+    add edx, ebx
+    mov eax, ebx
+    mov ebx, edx
+    dec ecx
+    jnz fib_loop
+    mov ebx, eax
+    mov eax, 1
+    int 0x80            ; print fib(40)
+    mov eax, 0
+    mov ebx, 0
+    int 0x80            ; exit(0)
+"""
+
+#: Bubble sort over a 24-element array; prints the min and max.
+BUBBLE_SORT = """
+start:
+    mov esi, data
+    mov edi, 24         ; element count
+outer:
+    mov ecx, edi
+    dec ecx
+    jz done_sort
+    mov esi, data
+    mov edx, 0          ; swapped flag
+pass:
+    mov eax, [esi]
+    mov ebx, [esi+4]
+    cmp eax, ebx
+    jle no_swap
+    mov [esi], ebx
+    mov [esi+4], eax
+    mov edx, 1
+no_swap:
+    add esi, 4
+    dec ecx
+    jnz pass
+    test edx, edx
+    jnz outer
+done_sort:
+    mov eax, 1
+    mov ebx, [data]
+    int 0x80            ; print min
+    mov eax, 1
+    mov ebx, [data+92]
+    int 0x80            ; print max
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+data:
+    .dd 170, 45, 75, 90, 802, 24, 2, 66, 15, 1000, 3, 999
+    .dd 501, 42, 7, 320, 111, 89, 640, 256, 12, 77, 8, 450
+"""
+
+#: Sieve of Eratosthenes up to 200; prints the prime count.
+SIEVE = """
+start:
+    mov edi, 0x600000   ; flags array (byte per candidate)
+    mov ecx, 200
+    mov eax, 0
+clear:
+    mov [edi], eax      ; clear 4 flags at a time (slots are dwords)
+    add edi, 4
+    dec ecx
+    jnz clear
+    mov esi, 2          ; candidate
+    mov edi, 0          ; prime count
+sieve_loop:
+    cmp esi, 200
+    jge report
+    mov eax, esi
+    shl eax, 2
+    mov ebx, [0x600000+eax]     ; composite flag (dword slots)
+    test ebx, ebx
+    jnz next_candidate
+    inc edi                      ; found a prime
+    mov edx, esi
+mark:
+    add edx, esi
+    cmp edx, 200
+    jge next_candidate
+    mov eax, edx
+    shl eax, 2
+    mov dword [0x600000+eax], 1
+    jmp mark
+next_candidate:
+    inc esi
+    jmp sieve_loop
+report:
+    mov eax, 1
+    mov ebx, edi
+    int 0x80            ; print prime count (46)
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+#: 8x8 integer matrix multiply; prints the trace of the product.
+MATMUL = """
+start:
+    ; A at 0x600000, B at 0x601000, C at 0x602000; A[i][j] = i+j,
+    ; B[i][j] = i*j (built on the fly)
+    mov esi, 0          ; i
+build_i:
+    mov edi, 0          ; j
+build_j:
+    mov eax, esi
+    shl eax, 5          ; i*32 (8 cols * 4 bytes)
+    mov ebx, edi
+    shl ebx, 2
+    add eax, ebx        ; offset
+    mov ecx, esi
+    add ecx, edi
+    mov [0x600000+eax], ecx      ; A[i][j] = i+j
+    mov ecx, esi
+    imul ecx, edi
+    mov [0x601000+eax], ecx      ; B[i][j] = i*j
+    inc edi
+    cmp edi, 8
+    jl build_j
+    inc esi
+    cmp esi, 8
+    jl build_i
+
+    mov esi, 0          ; i
+mul_i:
+    mov edi, 0          ; j
+mul_j:
+    mov ecx, 0          ; k
+    mov edx, 0          ; acc
+mul_k:
+    mov eax, esi
+    shl eax, 5
+    mov ebx, ecx
+    shl ebx, 2
+    add eax, ebx
+    mov eax, [0x600000+eax]      ; A[i][k]
+    mov ebx, ecx
+    shl ebx, 5
+    push ecx
+    mov ecx, edi
+    shl ecx, 2
+    add ebx, ecx
+    pop ecx
+    mov ebx, [0x601000+ebx]      ; B[k][j]
+    imul eax, ebx
+    add edx, eax
+    inc ecx
+    cmp ecx, 8
+    jl mul_k
+    mov eax, esi
+    shl eax, 5
+    mov ebx, edi
+    shl ebx, 2
+    add eax, ebx
+    mov [0x602000+eax], edx      ; C[i][j]
+    inc edi
+    cmp edi, 8
+    jl mul_j
+    inc esi
+    cmp esi, 8
+    jl mul_i
+
+    ; trace of C
+    mov esi, 0
+    mov edi, 0
+trace_loop:
+    mov eax, esi
+    shl eax, 5
+    mov ebx, esi
+    shl ebx, 2
+    add eax, ebx
+    add edi, [0x602000+eax]
+    inc esi
+    cmp esi, 8
+    jl trace_loop
+    mov eax, 1
+    mov ebx, edi
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+#: Checksum over a copied buffer, exercising REP string instructions.
+CHECKSUM = """
+start:
+    mov edi, 0x600000
+    mov eax, 0x1234
+    mov ecx, 64
+    rep stosd           ; fill source buffer
+    mov esi, 0x600000
+    mov edi, 0x601000
+    mov ecx, 64
+    rep movsd           ; copy
+    mov esi, 0x601000
+    mov ecx, 64
+    mov ebx, 0
+sum:
+    lodsd
+    add ebx, eax
+    rol_skip:
+    dec ecx
+    jnz sum
+    mov eax, 1
+    int 0x80            ; print 64 * 0x1234
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+#: Recursive Fibonacci (exponential), a call-heavy workload.
+FIB_RECURSIVE = """
+start:
+    push 14
+    call fib
+    mov ebx, eax
+    mov eax, 1
+    int 0x80            ; print fib(14) = 377
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+fib:
+    mov eax, [esp+4]
+    cmp eax, 2
+    jge recurse
+    ret 4
+recurse:
+    dec eax
+    push eax
+    push eax
+    call fib
+    pop ebx             ; n-1
+    dec ebx
+    push eax            ; save fib(n-1)
+    push ebx
+    call fib
+    pop ebx             ; fib(n-1)
+    add eax, ebx
+    ret 4
+"""
+
+#: Quicksort over 16 elements (recursive, Hoare-ish partition); prints
+#: the median pair sum as a checksum of correct ordering.
+QUICKSORT = """
+start:
+    push 60             ; high offset (15 * 4)
+    push 0              ; low offset
+    call qsort
+    mov eax, 1
+    mov ebx, [data+28]  ; element 7 after sorting
+    int 0x80
+    mov eax, 1
+    mov ebx, [data+32]  ; element 8
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+
+qsort:                  ; qsort(low at [esp+4], high at [esp+8])
+    mov esi, [esp+4]    ; low
+    mov edi, [esp+8]    ; high
+    cmp esi, edi
+    jge qdone
+    ; partition around the pivot at [data+high]
+    mov edx, [data+edi] ; pivot value
+    mov ecx, esi        ; i = low
+    mov ebx, esi        ; j = low
+part:
+    cmp ebx, edi
+    jge swap_pivot
+    mov eax, [data+ebx]
+    cmp eax, edx
+    jge next_j
+    push eax            ; swap data[i] <-> data[j]
+    mov eax, [data+ecx]
+    push eax
+    mov eax, [data+ebx]
+    mov [data+ecx], eax
+    pop eax
+    mov [data+ebx], eax
+    pop eax
+    add ecx, 4          ; i++
+next_j:
+    add ebx, 4
+    jmp part
+swap_pivot:
+    mov eax, [data+ecx]
+    mov ebx, [data+edi]
+    mov [data+ecx], ebx
+    mov [data+edi], eax
+    ; recurse left: qsort(low, i-4); callees clobber esi/edi/ecx
+    push edi            ; save high
+    push ecx            ; save pivot index
+    mov eax, ecx
+    sub eax, 4
+    push eax
+    push esi
+    call qsort_shim
+    pop ecx             ; pivot index back
+    pop edi             ; high back
+    ; recurse right: qsort(i+4, high)
+    push edi
+    mov eax, ecx
+    add eax, 4
+    push eax
+    call qsort_shim2
+qdone:
+    ret 8
+
+qsort_shim:             ; args already pushed as (high, low) -> reorder
+    mov eax, [esp+4]    ; low
+    mov ebx, [esp+8]    ; high
+    push ebx
+    push eax
+    call qsort
+    ret 8
+qsort_shim2:
+    mov eax, [esp+4]    ; low
+    mov ebx, [esp+8]    ; high
+    push ebx
+    push eax
+    call qsort
+    ret 8
+
+data:
+    .dd 830, 12, 407, 99, 650, 3, 512, 78
+    .dd 231, 945, 66, 309, 150, 721, 48, 888
+"""
+
+#: Byte-wise checksum in the style of CRC (shift/xor mixing) over a
+#: generated buffer, exercising MOVZX, shifts and byte loads.
+MIXHASH = """
+start:
+    mov edi, 0x600000
+    mov ecx, 64
+    mov eax, 7
+fill:
+    imul eax, eax, 13
+    add eax, 11
+    mov [edi], eax
+    add edi, 4
+    dec ecx
+    jnz fill
+    mov esi, 0x600000
+    mov ecx, 256        ; bytes
+    mov ebx, 0
+hash:
+    movzx eax, byte [esi]
+    xor ebx, eax
+    mov edx, ebx
+    shl ebx, 5
+    shr edx, 27
+    or ebx, edx         ; rotate left 5
+    inc esi
+    dec ecx
+    jnz hash
+    mov eax, 1
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+PROGRAMS: Dict[str, str] = {
+    "fibonacci": FIBONACCI,
+    "bubble_sort": BUBBLE_SORT,
+    "sieve": SIEVE,
+    "matmul": MATMUL,
+    "checksum": CHECKSUM,
+    "fib_recursive": FIB_RECURSIVE,
+    "quicksort": QUICKSORT,
+    "mixhash": MIXHASH,
+}
+
+#: Expected program outputs (for tests and examples).
+EXPECTED_OUTPUT: Dict[str, list] = {
+    "fibonacci": [102334155],
+    "bubble_sort": [2, 1000],
+    "sieve": [46],
+    "fib_recursive": [377],
+    "checksum": [64 * 0x1234],
+    "quicksort": [231, 309],   # median pair of the sorted array
+}

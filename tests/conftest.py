@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.isa.x86lite import X86State, assemble
+from repro.memory import AddressSpace, load_image
+from repro.memory.loader import DEFAULT_STACK_TOP
+
+
+def make_state(image=None) -> X86State:
+    """Fresh architected state, optionally with an image loaded."""
+    state = X86State(memory=AddressSpace())
+    state.regs[4] = DEFAULT_STACK_TOP  # ESP
+    if image is not None:
+        state.eip = load_image(image, state.memory)
+    return state
+
+
+def run_source(source: str, max_instructions: int = 1_000_000) -> X86State:
+    """Assemble, load and interpret a program; returns final state."""
+    image = assemble(source)
+    state = make_state(image)
+    Interpreter(state).run(max_instructions)
+    return state
+
+
+@pytest.fixture
+def fresh_state() -> X86State:
+    return make_state()

@@ -1,0 +1,143 @@
+"""Shared hypothesis strategies for the test suite.
+
+Centralizes how we generate random-but-valid x86lite instructions, operands
+and straight-line programs, so that the ISA round-trip tests, the cracker
+differential tests, and the SBT fusion equivalence tests all draw from the
+same distribution.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.isa.x86lite.instruction import (
+    ImmOperand,
+    Instruction,
+    MemOperand,
+    RegOperand,
+)
+from repro.isa.x86lite.opcodes import Op
+from repro.isa.x86lite.registers import Cond, Reg
+
+regs = st.sampled_from(list(Reg))
+#: Registers safe to clobber in generated programs (keeps ESP/EBP sane).
+scratch_regs = st.sampled_from([Reg.EAX, Reg.ECX, Reg.EDX, Reg.EBX,
+                                Reg.ESI, Reg.EDI])
+conds = st.sampled_from(list(Cond))
+imm32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+imm8ish = st.integers(min_value=-128, max_value=127)
+scales = st.sampled_from([1, 2, 4, 8])
+disps = st.one_of(st.just(0), st.integers(-128, 127),
+                  st.integers(-(2 ** 31), 2 ** 31 - 1))
+
+
+@st.composite
+def mem_operands(draw, size: int = 32) -> MemOperand:
+    base = draw(st.one_of(st.none(), regs))
+    index = draw(st.one_of(st.none(),
+                           st.sampled_from([reg for reg in Reg
+                                            if reg is not Reg.ESP])))
+    scale = draw(scales) if index is not None else 1
+    disp = draw(disps)
+    return MemOperand(base, index, scale, disp, size)
+
+
+#: Two-operand ALU instructions over registers/immediates/memory.
+_ALU_OPS = [Op.ADD, Op.ADC, Op.SUB, Op.SBB, Op.AND, Op.OR, Op.XOR, Op.CMP]
+
+
+@st.composite
+def alu_instructions(draw) -> Instruction:
+    op = draw(st.sampled_from(_ALU_OPS))
+    form = draw(st.sampled_from(["rr", "rm", "mr", "ri", "mi"]))
+    if form == "rr":
+        operands = (RegOperand(draw(regs)), RegOperand(draw(regs)))
+    elif form == "rm":
+        operands = (RegOperand(draw(regs)), draw(mem_operands()))
+    elif form == "mr":
+        operands = (draw(mem_operands()), RegOperand(draw(regs)))
+    elif form == "ri":
+        operands = (RegOperand(draw(regs)), ImmOperand(draw(imm32)))
+    else:
+        operands = (draw(mem_operands()), ImmOperand(draw(imm32)))
+    return Instruction(op=op, operands=operands)
+
+
+@st.composite
+def mov_instructions(draw) -> Instruction:
+    form = draw(st.sampled_from(["ri", "rr", "rm", "mr", "mi"]))
+    if form == "ri":
+        operands = (RegOperand(draw(regs)), ImmOperand(draw(imm32)))
+    elif form == "rr":
+        operands = (RegOperand(draw(regs)), RegOperand(draw(regs)))
+    elif form == "rm":
+        operands = (RegOperand(draw(regs)), draw(mem_operands()))
+    elif form == "mr":
+        operands = (draw(mem_operands()), RegOperand(draw(regs)))
+    else:
+        operands = (draw(mem_operands()), ImmOperand(draw(imm32)))
+    return Instruction(op=Op.MOV, operands=operands)
+
+
+@st.composite
+def misc_instructions(draw) -> Instruction:
+    choice = draw(st.sampled_from(
+        ["lea", "inc", "dec", "neg", "not", "push_r", "pop_r", "push_i",
+         "shift", "imul2", "imul3", "test", "nop", "cmov", "movzx",
+         "movsx", "xchg"]))
+    if choice == "lea":
+        return Instruction(Op.LEA, (RegOperand(draw(regs)),
+                                    draw(mem_operands())))
+    if choice in ("inc", "dec", "neg", "not"):
+        op = {"inc": Op.INC, "dec": Op.DEC, "neg": Op.NEG,
+              "not": Op.NOT}[choice]
+        dst = draw(st.one_of(regs.map(RegOperand), mem_operands()))
+        return Instruction(op, (dst,))
+    if choice == "push_r":
+        return Instruction(Op.PUSH, (RegOperand(draw(regs)),))
+    if choice == "pop_r":
+        return Instruction(Op.POP, (RegOperand(draw(regs)),))
+    if choice == "push_i":
+        return Instruction(Op.PUSH, (ImmOperand(draw(imm32)),))
+    if choice == "shift":
+        op = draw(st.sampled_from([Op.SHL, Op.SHR, Op.SAR]))
+        count = draw(st.one_of(
+            st.integers(1, 31).map(lambda n: ImmOperand(n, 8)),
+            st.just(RegOperand(Reg.ECX))))
+        dst = draw(st.one_of(regs.map(RegOperand), mem_operands()))
+        return Instruction(op, (dst, count))
+    if choice == "imul2":
+        return Instruction(Op.IMUL, (RegOperand(draw(regs)),
+                                     draw(st.one_of(regs.map(RegOperand),
+                                                    mem_operands()))))
+    if choice == "imul3":
+        return Instruction(Op.IMUL, (RegOperand(draw(regs)),
+                                     draw(st.one_of(regs.map(RegOperand),
+                                                    mem_operands())),
+                                     ImmOperand(draw(imm32))))
+    if choice == "test":
+        return Instruction(Op.TEST, (draw(st.one_of(regs.map(RegOperand),
+                                                    mem_operands())),
+                                     RegOperand(draw(regs))))
+    if choice == "cmov":
+        return Instruction(Op.CMOV, (RegOperand(draw(regs)),
+                                     draw(st.one_of(regs.map(RegOperand),
+                                                    mem_operands()))),
+                           cond=draw(conds))
+    if choice == "movzx":
+        return Instruction(Op.MOVZX, (RegOperand(draw(regs)),
+                                      draw(mem_operands(
+                                          draw(st.sampled_from([8, 16]))))))
+    if choice == "movsx":
+        return Instruction(Op.MOVSX, (RegOperand(draw(regs)),
+                                      draw(mem_operands(
+                                          draw(st.sampled_from([8, 16]))))))
+    if choice == "xchg":
+        dst = draw(st.one_of(regs.map(RegOperand), mem_operands()))
+        return Instruction(Op.XCHG, (dst, RegOperand(draw(regs))))
+    return Instruction(Op.NOP)
+
+
+#: Any encodable non-control-transfer instruction.
+instructions = st.one_of(alu_instructions(), mov_instructions(),
+                         misc_instructions())

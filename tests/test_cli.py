@@ -1,0 +1,80 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.asm"
+    path.write_text("""
+start:
+    mov ecx, 20
+loop:
+    add esi, ecx
+    dec ecx
+    jnz loop
+    mov eax, 1
+    mov ebx, esi
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+""")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_runs_program(self, program_file, capsys):
+        code = main(["run", program_file, "--hot-threshold", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "210" in out          # sum 1..20
+        assert "VM.soft" in out
+
+    def test_config_alias(self, program_file, capsys):
+        main(["run", program_file, "--config", "fe"])
+        assert "VM.fe" in capsys.readouterr().out
+
+    def test_full_config_name(self, program_file, capsys):
+        main(["run", program_file, "--config", "Ref: superscalar"])
+        assert "Ref" in capsys.readouterr().out
+
+    def test_unknown_config_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["run", program_file, "--config", "bogus"])
+
+
+class TestAnalysisCommands:
+    def test_startup(self, capsys):
+        code = main(["startup", "--app", "Winzip",
+                     "--instrs", "20000000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breakeven vs reference" in out
+        assert "VM.be" in out
+
+    def test_profile(self, capsys):
+        code = main(["profile", "--instrs", "10000000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "frequency profile" in out
+        assert "10,000+" in out
+
+    def test_configs(self, capsys):
+        code = main(["configs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("VM.soft", "VM.be", "VM.fe"):
+            assert name in out
+
+    def test_breakeven_small(self, capsys):
+        code = main(["breakeven", "--instrs", "5000000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Project" in out and "Winzip" in out
+
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])

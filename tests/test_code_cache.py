@@ -1,0 +1,193 @@
+"""Code cache, lookup table and chaining tests."""
+
+import pytest
+
+from repro.isa.fusible import MicroOp, UOp, decode_uop, encode_stream
+from repro.isa.fusible.registers import R_EXIT_TARGET
+from repro.memory import AddressSpace
+from repro.translator import (
+    CodeCacheFull,
+    ExitStub,
+    Translation,
+    TranslationDirectory,
+)
+from repro.translator.emit import direct_exit_stub
+
+
+def make_directory(bbt_capacity=4096, sbt_capacity=4096):
+    memory = AddressSpace()
+    return TranslationDirectory(memory,
+                                bbt_base=0x2000_0000,
+                                bbt_capacity=bbt_capacity,
+                                sbt_base=0x2000_0000 + bbt_capacity,
+                                sbt_capacity=sbt_capacity), memory
+
+
+def install_simple(directory, entry, kind="bbt", x86_target=0x400100):
+    """Install a minimal translation: a direct exit stub."""
+    cache = directory.cache_for(kind)
+    native = cache.reserve()
+    uops = direct_exit_stub(x86_target, entry)
+    translation = Translation(entry=entry, kind=kind, native_addr=native,
+                              x86_addrs=[entry], uop_count=len(uops),
+                              uops=uops)
+    translation.exits.append(ExitStub(stub_addr=native, kind="jump",
+                                      x86_target=x86_target))
+    directory.install(encode_stream(uops), translation)
+    return translation
+
+
+class TestCodeCache:
+    def test_install_and_lookup(self):
+        directory, _memory = make_directory()
+        translation = install_simple(directory, 0x400000)
+        assert directory.lookup(0x400000) is translation
+        assert directory.has_translation(0x400000)
+
+    def test_lookup_miss_counted(self):
+        directory, _memory = make_directory()
+        assert directory.lookup(0x400000) is None
+        assert directory.lookup_misses == 1
+
+    def test_sbt_preferred_over_bbt(self):
+        directory, _memory = make_directory()
+        bbt = install_simple(directory, 0x400000, "bbt")
+        sbt = install_simple(directory, 0x400000, "sbt")
+        assert directory.lookup(0x400000) is sbt
+        assert bbt is not sbt
+
+    def test_capacity_enforced(self):
+        directory, _memory = make_directory(bbt_capacity=24)
+        install_simple(directory, 0x400000)  # 12 bytes
+        install_simple(directory, 0x400010)  # 12 bytes - exactly full
+        with pytest.raises(CodeCacheFull):
+            install_simple(directory, 0x400020)
+
+    def test_flush_clears_lookup_and_space(self):
+        directory, _memory = make_directory(bbt_capacity=24)
+        install_simple(directory, 0x400000)
+        install_simple(directory, 0x400010)
+        evicted = directory.flush("bbt")
+        assert len(evicted) == 2
+        assert not directory.has_translation(0x400000)
+        assert directory.bbt_cache.free_bytes == 24
+        install_simple(directory, 0x400020)  # fits again
+
+    def test_used_bytes_accounting(self):
+        directory, _memory = make_directory()
+        install_simple(directory, 0x400000)
+        assert directory.bbt_cache.used_bytes == 12
+        assert directory.bbt_cache.bytes_installed_total == 12
+
+
+class TestChaining:
+    def test_chain_patches_stub_with_jmp(self):
+        directory, memory = make_directory()
+        source = install_simple(directory, 0x400000, x86_target=0x400100)
+        target = install_simple(directory, 0x400100)
+        stub = source.exits[0]
+        assert directory.request_chain(stub)
+        assert stub.chained_to == target.native_addr
+        patched = decode_uop(memory.read(stub.stub_addr, 4))
+        assert patched.op is UOp.JMP
+        # the JMP must land exactly on the target translation
+        landing = stub.stub_addr + 4 + patched.imm
+        assert landing == target.native_addr
+
+    def test_chain_deferred_until_target_exists(self):
+        directory, memory = make_directory()
+        source = install_simple(directory, 0x400000, x86_target=0x400100)
+        stub = source.exits[0]
+        assert not directory.request_chain(stub)  # queued
+        assert stub.chained_to is None
+        target = install_simple(directory, 0x400100)
+        assert stub.chained_to == target.native_addr  # auto-resolved
+
+    def test_indirect_stub_never_chains(self):
+        directory, _memory = make_directory()
+        source = install_simple(directory, 0x400000)
+        stub = ExitStub(stub_addr=source.native_addr + 8, kind="indirect",
+                        x86_target=None)
+        assert not directory.request_chain(stub)
+        assert stub.chained_to is None
+
+    def test_flush_unchains_incoming_stubs(self):
+        directory, memory = make_directory()
+        source = install_simple(directory, 0x400000, "bbt",
+                                x86_target=0x400100)
+        install_simple(directory, 0x400100, "sbt")
+        stub = source.exits[0]
+        directory.request_chain(stub)
+        assert stub.chained_to is not None
+        directory.flush("sbt")
+        assert stub.chained_to is None
+        restored = decode_uop(memory.read(stub.stub_addr, 4))
+        assert restored.op is UOp.LUI
+        assert restored.rd == R_EXIT_TARGET
+
+    def test_find_stub(self):
+        directory, _memory = make_directory()
+        source = install_simple(directory, 0x400000)
+        stub, owner = directory.find_stub(source.exits[0].stub_addr)
+        assert owner is source
+
+    def test_chain_counter(self):
+        directory, _memory = make_directory()
+        source = install_simple(directory, 0x400000, x86_target=0x400100)
+        install_simple(directory, 0x400100)
+        directory.request_chain(source.exits[0])
+        assert directory.chains_made == 1
+
+
+class TestRedirection:
+    def test_sbt_install_redirects_bbt_entry(self):
+        directory, memory = make_directory()
+        bbt = install_simple(directory, 0x400000, "bbt")
+        original = memory.read(bbt.native_addr, 4)
+        sbt = install_simple(directory, 0x400000, "sbt")
+        patched = decode_uop(memory.read(bbt.native_addr, 4))
+        assert patched.op is UOp.JMP
+        assert bbt.native_addr + 4 + patched.imm == sbt.native_addr
+        assert directory.redirects_made == 1
+        # flushing the SBT cache restores the BBT entry
+        directory.flush("sbt")
+        assert memory.read(bbt.native_addr, 4) == original
+
+    def test_no_redirect_without_bbt_copy(self):
+        directory, _memory = make_directory()
+        install_simple(directory, 0x400000, "sbt")
+        assert directory.redirects_made == 0
+
+    def test_bbt_flush_drops_redirect_records(self):
+        directory, _memory = make_directory()
+        install_simple(directory, 0x400000, "bbt")
+        install_simple(directory, 0x400000, "sbt")
+        directory.flush("bbt")
+        assert not directory._redirects
+
+
+class TestSideTable:
+    def test_side_table_resolution(self):
+        directory, _memory = make_directory()
+        cache = directory.bbt_cache
+        native = cache.reserve()
+        uops = [MicroOp(UOp.VMCALL, imm=0, x86_addr=0x400123)]
+        translation = Translation(entry=0x400120, kind="bbt",
+                                  native_addr=native, uops=uops,
+                                  side_table={native: 0x400123})
+        directory.install(encode_stream(uops), translation)
+        x86_addr, owner = directory.resolve_side_table(native)
+        assert x86_addr == 0x400123
+        assert owner is translation
+
+    def test_side_table_cleared_on_flush(self):
+        directory, _memory = make_directory()
+        cache = directory.bbt_cache
+        native = cache.reserve()
+        uops = [MicroOp(UOp.VMCALL, imm=0, x86_addr=0x400123)]
+        translation = Translation(entry=0x400120, kind="bbt",
+                                  native_addr=native, uops=uops,
+                                  side_table={native: 0x400123})
+        directory.install(encode_stream(uops), translation)
+        directory.flush("bbt")
+        assert directory.resolve_side_table(native) is None

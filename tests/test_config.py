@@ -1,0 +1,145 @@
+"""Machine-configuration and cost-model tests (Table 2 semantics)."""
+
+import pytest
+
+from repro.core import (
+    ALL_CONFIGS,
+    VM_CONFIGS,
+    interp_sbt,
+    ref_superscalar,
+    vm_be,
+    vm_fe,
+    vm_soft,
+)
+from repro.core.config import (
+    DEFAULT_HOT_THRESHOLD,
+    INTERP_HOT_THRESHOLD,
+    TranslationCosts,
+)
+from repro.timing.pipeline import mode_costs_for
+from repro.workloads import winstone_app
+
+
+class TestConfigFactories:
+    def test_names(self):
+        assert ref_superscalar().name == "Ref: superscalar"
+        assert vm_soft().name == "VM.soft"
+        assert vm_be().name == "VM.be"
+        assert vm_fe().name == "VM.fe"
+
+    def test_vm_flags(self):
+        assert not ref_superscalar().is_vm
+        assert all(config.is_vm for config in VM_CONFIGS().values())
+
+    def test_initial_emulation_strategies(self):
+        assert ref_superscalar().initial_emulation == "native"
+        assert vm_soft().initial_emulation == "bbt"
+        assert vm_be().initial_emulation == "bbt"
+        assert vm_fe().initial_emulation == "x86-mode"
+        assert interp_sbt().initial_emulation == "interp"
+
+    def test_uses_bbt(self):
+        assert vm_soft().uses_bbt and vm_be().uses_bbt
+        assert not vm_fe().uses_bbt and not interp_sbt().uses_bbt
+
+    def test_bbt_costs_match_paper(self):
+        # Section 5.3: 83 cycles software, 20 with the XLTx86 assist
+        assert vm_soft().costs.bbt_cycles_per_instr == 83.0
+        assert vm_be().costs.bbt_cycles_per_instr == 20.0
+        assert vm_fe().costs.bbt_cycles_per_instr is None
+
+    def test_hot_thresholds(self):
+        assert DEFAULT_HOT_THRESHOLD == 8000
+        assert INTERP_HOT_THRESHOLD == 25
+        for config in VM_CONFIGS().values():
+            assert config.hot_threshold == 8000
+        assert interp_sbt().hot_threshold == 25
+
+    def test_hotspot_detectors(self):
+        assert vm_soft().hotspot_detector == "software"
+        assert vm_fe().hotspot_detector == "bbb"
+        assert ref_superscalar().hotspot_detector == "none"
+
+    def test_shared_substrate(self):
+        # Table 2: one microarchitecture substrate for all configs
+        base = ref_superscalar()
+        for config in ALL_CONFIGS().values():
+            assert config.l1i == base.l1i
+            assert config.l1d == base.l1d
+            assert config.l2 == base.l2
+            assert config.memory_latency == base.memory_latency
+            assert config.pipeline.width == 3
+            assert config.pipeline.rob_entries == 128
+            assert config.pipeline.issue_queue_slots == 36
+
+    def test_cache_parameters_match_table2(self):
+        base = ref_superscalar()
+        assert base.l1i.size == 64 * 1024 and base.l1i.assoc == 2
+        assert base.l1i.latency == 2
+        assert base.l1d.latency == 3
+        assert base.l2.size == 2 * 1024 * 1024 and base.l2.latency == 12
+        assert base.memory_latency == 168
+
+    def test_with_override(self):
+        config = vm_soft().with_(hot_threshold=100)
+        assert config.hot_threshold == 100
+        assert config.name == "VM.soft"
+        assert vm_soft().hot_threshold == 8000  # original untouched
+
+    def test_all_configs_registry(self):
+        configs = ALL_CONFIGS()
+        assert len(configs) == 5
+        assert set(VM_CONFIGS()) <= set(configs)
+
+    def test_translation_costs_defaults(self):
+        costs = TranslationCosts()
+        assert costs.bbt_native_instrs_per_instr == 105.0
+        assert costs.sbt_native_instrs_per_instr == 1674.0
+        assert costs.xltx86_latency == 4
+
+
+class TestModeCosts:
+    @pytest.fixture
+    def app(self):
+        return winstone_app("Word")
+
+    def test_sbt_faster_than_ref(self, app):
+        costs = mode_costs_for(vm_soft(), app)
+        assert costs.sbt_cpi < costs.ref_cpi
+
+    def test_bbt_code_slower_than_sbt(self, app):
+        costs = mode_costs_for(vm_soft(), app)
+        assert costs.bbt_code_cpi > costs.sbt_cpi
+
+    def test_stall_dilution_bounds_bbt_penalty(self, app):
+        # with stalls diluting, BBT code is between SBT code and the
+        # undiluted 1/0.84 penalty
+        costs = mode_costs_for(vm_soft(), app)
+        assert costs.bbt_code_cpi < costs.sbt_cpi / app.bbt_relative_ipc
+
+    def test_x86_mode_equals_ref(self, app):
+        costs = mode_costs_for(vm_fe(), app)
+        assert costs.x86_mode_cpi == costs.ref_cpi
+
+    def test_translate_costs_per_config(self, app):
+        assert mode_costs_for(vm_soft(), app).bbt_translate_cpi == 83.0
+        assert mode_costs_for(vm_be(), app).bbt_translate_cpi == 20.0
+        assert mode_costs_for(vm_fe(), app).bbt_translate_cpi == 0.0
+        assert mode_costs_for(ref_superscalar(),
+                              app).sbt_translate_cpi == 0.0
+
+    def test_xlt_power_only_for_be(self, app):
+        assert mode_costs_for(vm_be(), app).xlt_busy_per_instr > 0
+        assert mode_costs_for(vm_soft(), app).xlt_busy_per_instr == 0
+
+    def test_cold_execution_cpi_dispatch(self, app):
+        costs = mode_costs_for(vm_soft(), app)
+        assert costs.cold_execution_cpi("bbt") == costs.bbt_code_cpi
+        assert costs.cold_execution_cpi("x86-mode") == costs.x86_mode_cpi
+        assert costs.cold_execution_cpi("interp") == costs.interp_cpi
+        assert costs.cold_execution_cpi("native") == costs.ref_cpi
+
+    def test_interp_cpi_in_paper_range(self, app):
+        # Section 1.1: interpretation is 10x-100x slower than native
+        costs = mode_costs_for(interp_sbt(), app)
+        assert 10 <= costs.interp_cpi * app.ipc_ref <= 100

@@ -1,0 +1,66 @@
+"""Consistency-metric tests."""
+
+import pytest
+
+from repro.analysis.consistency import consistency_report, interval_ipcs
+from repro.core import ref_superscalar, vm_soft
+from repro.timing import simulate_startup
+from repro.timing.sampler import SampledSeries
+from repro.timing.startup_sim import StartupResult
+from repro.workloads import generate_workload, winstone_app
+
+
+def make_result(cycles, instructions, name="x"):
+    result = StartupResult(config_name=name, app_name="a",
+                           scenario=None,
+                           series=SampledSeries(cycles=list(cycles),
+                                                instructions=list(
+                                                    instructions)))
+    result.total_cycles = cycles[-1]
+    result.total_instrs = instructions[-1]
+    return result
+
+
+class TestIntervalIpcs:
+    def test_constant_rate_gives_constant_intervals(self):
+        result = make_result([100, 200, 400], [50, 100, 200])
+        points = interval_ipcs(result)
+        assert [ipc for _c, ipc in points] == pytest.approx([0.5, 0.5])
+
+    def test_min_cycles_filter(self):
+        result = make_result([100, 200, 400], [50, 100, 200])
+        points = interval_ipcs(result, min_cycles=300)
+        assert len(points) == 1
+
+    def test_zero_span_skipped(self):
+        result = make_result([100, 100, 200], [50, 50, 100])
+        points = interval_ipcs(result)
+        assert len(points) == 1
+
+
+class TestConsistencyReport:
+    def test_steady_run_has_zero_cv(self):
+        result = make_result([1e5, 2e5, 4e5, 8e5],
+                             [1e5, 2e5, 4e5, 8e5])
+        report = consistency_report(result, skip_cycles=0)
+        assert report.cv == pytest.approx(0.0)
+        assert report.worst_interval_fraction == pytest.approx(1.0)
+
+    def test_erratic_run_has_high_cv(self):
+        result = make_result([1e5, 2e5, 3e5, 4e5],
+                             [1e5, 1.01e5, 2e5, 2.01e5])
+        report = consistency_report(result, skip_cycles=0)
+        assert report.cv > 0.5
+
+    def test_empty_window(self):
+        result = make_result([10.0], [10.0])
+        report = consistency_report(result, skip_cycles=1e9)
+        assert report.cv == 0.0
+
+    def test_vm_less_consistent_than_reference(self):
+        workload = generate_workload(winstone_app("Word"),
+                                     dyn_instrs=30_000_000, seed=0)
+        ref = consistency_report(
+            simulate_startup(ref_superscalar(), workload))
+        soft = consistency_report(simulate_startup(vm_soft(), workload))
+        assert soft.cv > ref.cv

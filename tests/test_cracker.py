@@ -1,0 +1,215 @@
+"""Cracker tests: structure of cracked sequences and differential
+equivalence between x86lite reference semantics and cracked micro-op
+execution on the native machine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.fusible import FusibleMachine, UOp
+from repro.isa.fusible.registers import R_EXIT_TARGET
+from repro.isa.x86lite import (
+    ImmOperand,
+    Instruction,
+    MemOperand,
+    Op,
+    Reg,
+    RegOperand,
+    X86State,
+    decode,
+    execute,
+)
+from repro.memory import AddressSpace
+from repro.translator import crack, is_crackable
+from repro.vmm import copy_arch_to_native, copy_native_to_arch
+from tests.strategies import instructions
+
+# A safe data region for randomized memory operands.
+DATA_BASE = 0x0050_0000
+DATA_SIZE = 0x1_0000
+
+
+class TestCrackStructure:
+    def test_nop(self):
+        result = crack(decode(b"\x90"))
+        assert [uop.op for uop in result.uops] == [UOp.NOP2]
+
+    def test_mov_reg_reg_is_one_uop(self):
+        result = crack(decode(b"\x89\xd8"))  # mov eax, ebx
+        assert result.uop_count == 1
+        assert result.uops[0].op is UOp.MOV2
+
+    def test_add_reg_reg_uses_short_form(self):
+        result = crack(decode(b"\x01\xd8"))  # add eax, ebx
+        (uop,) = result.uops
+        assert uop.op is UOp.ADD2 and uop.setflags
+        assert uop.length == 2
+
+    def test_load_is_one_uop_with_small_disp(self):
+        result = crack(decode(b"\x8b\x43\x08"))  # mov eax, [ebx+8]
+        (uop,) = result.uops
+        assert uop.op is UOp.LDW and uop.imm == 8
+
+    def test_rmw_is_load_op_store(self):
+        result = crack(decode(b"\x01\x03"))  # add [ebx], eax
+        ops = [uop.op for uop in result.uops]
+        assert ops == [UOp.LDW, UOp.ADD2, UOp.STW]
+
+    def test_scaled_index_addressing(self):
+        # mov eax, [ebx+ecx*4+8]
+        instr = Instruction(Op.MOV, (RegOperand(Reg.EAX),
+                                     MemOperand(Reg.EBX, Reg.ECX, 4, 8)))
+        result = crack(instr)
+        ops = [uop.op for uop in result.uops]
+        assert ops == [UOp.SHLI, UOp.ADD2, UOp.LDW]
+
+    def test_cmp_imm_is_single_uop(self):
+        result = crack(decode(b"\x83\xf8\x05"))  # cmp eax, 5
+        (uop,) = result.uops
+        assert uop.op is UOp.SUBI and uop.setflags
+        assert uop.dest() is None  # discarded result
+
+    def test_push_reg(self):
+        result = crack(decode(b"\x50"))  # push eax
+        ops = [uop.op for uop in result.uops]
+        assert ops == [UOp.SUBI, UOp.STW]
+
+    def test_large_immediate_uses_lui_ori(self):
+        result = crack(decode(b"\xb8\x78\x56\x34\x12"))
+        ops = [uop.op for uop in result.uops]
+        assert ops == [UOp.LUI, UOp.ORI]
+
+    def test_small_immediate_single_uop(self):
+        result = crack(decode(b"\xb8\x05\x00\x00\x00"))
+        assert result.uop_count == 1
+
+    def test_uops_tagged_with_x86_addr(self):
+        result = crack(decode(b"\x01\x03", addr=0x401234))
+        assert all(uop.x86_addr == 0x401234 for uop in result.uops)
+
+    def test_metadata_counts(self):
+        result = crack(decode(b"\x01\x03"))
+        assert result.byte_count == sum(u.length for u in result.uops)
+
+
+class TestComplexClassification:
+    @pytest.mark.parametrize("raw", [
+        b"\xf3\xa5",               # rep movsd
+        b"\xf7\xf3",               # div ebx
+        b"\xf7\xfb",               # idiv ebx
+        b"\xcd\x80",               # int 0x80
+        b"\xf4",                   # hlt
+        b"\x0f\xa2",               # cpuid
+        b"\x66\x01\xd8",           # 16-bit add
+    ])
+    def test_complex(self, raw):
+        instr = decode(raw)
+        assert not is_crackable(instr)
+        result = crack(instr)
+        assert result.cmplx and not result.uops
+
+    def test_simple_is_crackable(self):
+        assert is_crackable(decode(b"\x01\xd8"))
+
+
+class TestCtiCracking:
+    def test_direct_jmp_has_empty_body(self):
+        result = crack(decode(b"\xeb\x10"))
+        assert result.cti and not result.uops
+
+    def test_call_pushes_return_address(self):
+        result = crack(decode(b"\xe8\x10\x00\x00\x00", addr=0x400000))
+        assert result.cti
+        ops = [uop.op for uop in result.uops]
+        assert UOp.STW in ops and UOp.SUBI in ops
+
+    def test_indirect_jmp_materializes_target(self):
+        result = crack(decode(b"\xff\xe0"))  # jmp eax
+        assert result.cti
+        assert result.uops[-1].rd == R_EXIT_TARGET
+
+    def test_ret_pops_into_exit_target(self):
+        result = crack(decode(b"\xc3"))
+        assert result.cti
+        assert result.uops[0].op is UOp.LDW
+        assert result.uops[0].rd == R_EXIT_TARGET
+
+    def test_ret_imm_adjusts_esp(self):
+        result = crack(decode(b"\xc2\x08\x00"))
+        add = result.uops[-1]
+        assert add.op is UOp.ADDI and add.imm == 12  # 4 + 8
+
+
+def _random_state(draw_regs, memory_words) -> X86State:
+    state = X86State(memory=AddressSpace())
+    state.regs = list(draw_regs)
+    # Clamp pointer-ish registers into the data region so memory operands
+    # land somewhere harmless.
+    for index in range(8):
+        state.regs[index] = DATA_BASE + (state.regs[index] % DATA_SIZE)
+    state.regs[Reg.ESP] = DATA_BASE + 0x8000 - \
+        (state.regs[Reg.ESP] % 0x100) * 4
+    for offset, word in enumerate(memory_words):
+        state.memory.write_u32(DATA_BASE + offset * 4, word)
+    return state
+
+
+def _constrain_memory_operands(instr: Instruction) -> Instruction:
+    """Rewrite memory operands to stay inside the data region."""
+    new_operands = []
+    for operand in instr.operands:
+        if isinstance(operand, MemOperand):
+            disp = operand.disp % 0x1000
+            if operand.base is None and operand.index is None:
+                disp += DATA_BASE
+            new_operands.append(MemOperand(operand.base, None, 1, disp,
+                                           operand.size))
+        else:
+            new_operands.append(operand)
+    return Instruction(op=instr.op, operands=tuple(new_operands),
+                       width=instr.width, cond=instr.cond,
+                       target=instr.target, rep=instr.rep,
+                       length=instr.length, addr=instr.addr)
+
+
+class TestDifferentialEquivalence:
+    """crack(instr) executed natively == execute(instr) on the reference."""
+
+    @given(instr=instructions,
+           regs=st.lists(st.integers(0, 0xFFFFFFFF), min_size=8,
+                         max_size=8),
+           memory_words=st.lists(st.integers(0, 0xFFFFFFFF), min_size=8,
+                                 max_size=8),
+           flags=st.tuples(st.booleans(), st.booleans(), st.booleans(),
+                           st.booleans()))
+    @settings(max_examples=400, deadline=None)
+    def test_equivalence(self, instr, regs, memory_words, flags):
+        instr = _constrain_memory_operands(instr)
+        if not is_crackable(instr) or instr.is_control_transfer:
+            return
+        result = crack(instr)
+
+        # reference path
+        ref = _random_state(regs, memory_words)
+        ref.cf, ref.zf, ref.sf, ref.of = flags
+        ref.eip = instr.addr
+
+        # native path on an identical twin
+        native_state = ref.copy_architected(memory=ref.memory.snapshot())
+        machine = FusibleMachine(native_state.memory)
+        copy_arch_to_native(native_state, machine)
+
+        execute(instr, ref)
+        machine.execute_uops(result.uops)
+        copy_native_to_arch(machine, native_state)
+
+        assert native_state.regs == ref.regs, \
+            f"regs diverged for {instr}: cracked to " \
+            f"{[str(u) for u in result.uops]}"
+        if instr.writes_flags:
+            assert (native_state.cf, native_state.zf, native_state.sf,
+                    native_state.of) == (ref.cf, ref.zf, ref.sf, ref.of), \
+                f"flags diverged for {instr}"
+        # memory effects must match over the data region
+        assert native_state.memory.read(DATA_BASE, DATA_SIZE) == \
+            ref.memory.read(DATA_BASE, DATA_SIZE), \
+            f"memory diverged for {instr}"

@@ -1,0 +1,112 @@
+"""Disassembler tests."""
+
+from repro.isa.x86lite import assemble
+from repro.isa.x86lite.disasm import (
+    DisasmLine,
+    disassemble_memory,
+    disassemble_range,
+    discover_code,
+    format_listing,
+    iter_instructions,
+)
+from repro.memory import AddressSpace, load_image
+
+
+def setup(source):
+    image = assemble(source)
+    memory = AddressSpace()
+    entry = load_image(image, memory)
+    return memory, image, entry
+
+
+class TestLinearDisassembly:
+    def test_range_roundtrip(self):
+        source = "start:\nmov eax, 1\nadd eax, 2\nret"
+        _memory, image, _entry = setup(source)
+        lines = disassemble_range(image.text.data, base=image.text.addr)
+        assert [str(line.instr) for line in lines] == \
+            ["mov eax, 0x1", "add eax, 0x2", "ret"]
+
+    def test_raw_bytes_match(self):
+        _memory, image, _entry = setup("start:\nmov eax, 1\nret")
+        lines = disassemble_range(image.text.data, base=image.text.addr)
+        assert b"".join(line.raw for line in lines) == image.text.data
+
+    def test_limit(self):
+        _memory, image, _entry = setup("start:\nnop\nnop\nnop\nret")
+        lines = disassemble_range(image.text.data, limit=2)
+        assert len(lines) == 2
+
+    def test_stops_at_bad_bytes(self):
+        lines = disassemble_range(b"\x90\x06\x90")
+        assert len(lines) == 1  # 0x06 is invalid
+
+    def test_from_memory(self):
+        memory, _image, entry = setup("start:\nmov eax, 1\nhlt")
+        lines = disassemble_memory(memory, entry, 2)
+        assert len(lines) == 2
+        assert lines[1].instr.op.value == "hlt"
+
+    def test_line_format(self):
+        memory, _image, entry = setup("start:\nmov eax, 1\nhlt")
+        line = disassemble_memory(memory, entry, 1)[0]
+        text = line.format()
+        assert f"{entry:#010x}" in text
+        assert "mov eax" in text
+
+    def test_iter_instructions(self):
+        memory, image, entry = setup("start:\nnop\nnop\nret")
+        pairs = list(iter_instructions(memory, entry, entry + 3))
+        assert [instr.op.value for _addr, instr in pairs] == \
+            ["nop", "nop", "ret"]
+
+
+class TestCodeDiscovery:
+    def test_discovers_both_branch_directions(self):
+        source = """
+        start:
+            cmp eax, 0
+            je other
+            mov ebx, 1
+            ret
+        other:
+            mov ebx, 2
+            ret
+        """
+        memory, image, entry = setup(source)
+        instrs = discover_code(memory, entry)
+        assert image.labels["other"] in instrs
+        # both RETs found
+        rets = [i for i in instrs.values() if i.op.value == "ret"]
+        assert len(rets) == 2
+
+    def test_follows_calls_and_returns(self):
+        source = """
+        start:
+            call fn
+            hlt
+        fn:
+            ret
+        """
+        memory, image, entry = setup(source)
+        instrs = discover_code(memory, entry)
+        assert image.labels["fn"] in instrs
+        assert any(i.op.value == "hlt" for i in instrs.values())
+
+    def test_stops_at_indirect(self):
+        memory, _image, entry = setup("start:\njmp eax\nnop")
+        instrs = discover_code(memory, entry)
+        assert len(instrs) == 1
+
+    def test_limit_respected(self):
+        source = "start:\n" + "\n".join(["nop"] * 50) + "\nret"
+        memory, _image, entry = setup(source)
+        instrs = discover_code(memory, entry, max_instructions=10)
+        assert len(instrs) == 10
+
+    def test_format_listing_with_symbols(self):
+        source = "start:\nnop\ntarget:\nret"
+        memory, image, entry = setup(source)
+        lines = disassemble_memory(memory, entry, 2)
+        listing = format_listing(lines, symbols=image.labels)
+        assert "target:" in listing

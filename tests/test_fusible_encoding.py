@@ -1,0 +1,191 @@
+"""Encode/decode tests for the fusible micro-op ISA."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.fusible import (
+    MicroOp,
+    UOp,
+    UopDecodeError,
+    UopEncodeError,
+    decode_stream,
+    decode_uop,
+    encode_stream,
+    encode_uop,
+    stream_length,
+)
+from repro.isa.fusible.opcodes import (
+    I_FORM_OPS,
+    LOAD_OPS,
+    R_FORM_OPS,
+    RR_FORM_OPS,
+    SHORT_OPS,
+    STORE_OPS,
+)
+from repro.isa.x86lite.registers import Cond
+
+
+class TestFormats:
+    def test_short_op_is_two_bytes(self):
+        uop = MicroOp(UOp.ADD2, rd=3, rs1=5)
+        assert uop.length == 2
+        assert len(encode_uop(uop)) == 2
+
+    def test_long_op_is_four_bytes(self):
+        uop = MicroOp(UOp.ADD, rd=20, rs1=21, rs2=22)
+        assert uop.length == 4
+        assert len(encode_uop(uop)) == 4
+
+    def test_discriminator_in_first_parcel(self):
+        short = encode_uop(MicroOp(UOp.MOV2, rd=1, rs1=2))
+        long_ = encode_uop(MicroOp(UOp.ADD, rd=1, rs1=2, rs2=3))
+        first_short = int.from_bytes(short[:2], "little")
+        first_long = int.from_bytes(long_[:2], "little")
+        assert not first_short & 0x4000
+        assert first_long & 0x4000
+
+    def test_fused_bit(self):
+        plain = encode_uop(MicroOp(UOp.ADD2, rd=1, rs1=2))
+        fused = encode_uop(MicroOp(UOp.ADD2, rd=1, rs1=2, fused=True))
+        assert plain != fused
+        assert decode_uop(fused).fused
+        assert not decode_uop(plain).fused
+
+    def test_setflags_bit(self):
+        uop = MicroOp(UOp.ADD, rd=1, rs1=2, rs2=3, setflags=True)
+        assert decode_uop(encode_uop(uop)).setflags
+
+
+class TestErrors:
+    def test_short_register_out_of_range(self):
+        with pytest.raises(UopEncodeError):
+            encode_uop(MicroOp(UOp.ADD2, rd=16, rs1=1))
+
+    def test_imm13_out_of_range(self):
+        with pytest.raises(UopEncodeError):
+            encode_uop(MicroOp(UOp.ADDI, rd=1, rs1=2, imm=5000))
+
+    def test_unsigned_imm_rejects_negative(self):
+        with pytest.raises(UopEncodeError):
+            encode_uop(MicroOp(UOp.ORI, rd=1, rs1=2, imm=-1))
+
+    def test_imm4_out_of_range(self):
+        with pytest.raises(UopEncodeError):
+            encode_uop(MicroOp(UOp.ADDI2, rd=1, imm=9))
+
+    def test_bc_without_cond(self):
+        with pytest.raises(UopEncodeError):
+            encode_uop(MicroOp(UOp.BC, imm=4))
+
+    def test_truncated_stream(self):
+        with pytest.raises(UopDecodeError):
+            decode_uop(b"\x00")
+
+    def test_truncated_long_op(self):
+        data = encode_uop(MicroOp(UOp.ADD, rd=1, rs1=2, rs2=3))
+        with pytest.raises(UopDecodeError):
+            decode_uop(data[:2])
+
+    def test_invalid_long_opcode(self):
+        # opcode 63 is unassigned
+        data = ((1 << 30) | (63 << 24)).to_bytes(4, "big")
+        word = int.from_bytes(data, "big")
+        raw = ((word >> 16).to_bytes(2, "little")
+               + (word & 0xFFFF).to_bytes(2, "little"))
+        with pytest.raises(UopDecodeError):
+            decode_uop(raw)
+
+
+# -- hypothesis strategies over the micro-op space ---------------------------
+
+def _uop_strategy():
+    def build(draw):
+        kind = draw(st.sampled_from(
+            ["short", "r", "i", "rr", "mem", "lui", "bc", "jmp", "sel",
+             "special"]))
+        fused = draw(st.booleans())
+        if kind == "short":
+            op = draw(st.sampled_from(sorted(SHORT_OPS,
+                                             key=lambda o: o.value)))
+            rd = draw(st.integers(0, 15))
+            if op is UOp.ADDI2:
+                return MicroOp(op, rd=rd, imm=draw(st.integers(-8, 7)),
+                               fused=fused,
+                               setflags=draw(st.booleans()))
+            return MicroOp(op, rd=rd, rs1=draw(st.integers(0, 15)),
+                           fused=fused, setflags=draw(st.booleans()))
+        reg = st.integers(0, 31)
+        if kind == "r":
+            ops = sorted(R_FORM_OPS - {UOp.SEL}, key=lambda o: o.value)
+            return MicroOp(draw(st.sampled_from(ops)), rd=draw(reg),
+                           rs1=draw(reg), rs2=draw(reg), fused=fused,
+                           setflags=draw(st.booleans()))
+        if kind == "i":
+            op = draw(st.sampled_from(sorted(I_FORM_OPS,
+                                             key=lambda o: o.value)))
+            if op in (UOp.ADDI, UOp.SUBI):
+                imm = draw(st.integers(-4096, 4095))
+            else:
+                imm = draw(st.integers(0, 8191))
+            return MicroOp(op, rd=draw(reg), rs1=draw(reg), imm=imm,
+                           fused=fused, setflags=draw(st.booleans()))
+        if kind == "rr":
+            op = draw(st.sampled_from(sorted(RR_FORM_OPS,
+                                             key=lambda o: o.value)))
+            return MicroOp(op, rd=draw(reg), rs1=draw(reg), fused=fused,
+                           setflags=draw(st.booleans()))
+        if kind == "mem":
+            op = draw(st.sampled_from(sorted(LOAD_OPS | STORE_OPS,
+                                             key=lambda o: o.value)))
+            return MicroOp(op, rd=draw(reg), rs1=draw(reg),
+                           imm=draw(st.integers(-4096, 4095)), fused=fused)
+        if kind == "lui":
+            return MicroOp(UOp.LUI, rd=draw(reg),
+                           imm=draw(st.integers(0, (1 << 19) - 1)),
+                           fused=fused)
+        if kind == "bc":
+            return MicroOp(UOp.BC, cond=draw(st.sampled_from(list(Cond))),
+                           imm=draw(st.integers(-4096, 4095)), fused=fused)
+        if kind == "jmp":
+            return MicroOp(UOp.JMP,
+                           imm=draw(st.integers(-(1 << 23),
+                                                (1 << 23) - 1)),
+                           fused=fused)
+        if kind == "sel":
+            return MicroOp(UOp.SEL, rd=draw(reg), rs1=draw(reg),
+                           cond=draw(st.sampled_from(list(Cond))),
+                           fused=fused)
+        op = draw(st.sampled_from([UOp.NOP, UOp.HALT, UOp.VMEXIT, UOp.JR,
+                                   UOp.RDFLG, UOp.WRFLG, UOp.LDCSR,
+                                   UOp.XLTX86, UOp.VMCALL, UOp.JCSRC,
+                                   UOp.JCSRT]))
+        if op in (UOp.VMCALL, UOp.JCSRC, UOp.JCSRT):
+            return MicroOp(op, imm=draw(st.integers(0, 100)
+                                        if op is UOp.VMCALL
+                                        else st.integers(-4096, 4095)),
+                           fused=fused)
+        return MicroOp(op, rd=draw(reg), rs1=draw(reg), fused=fused)
+    return st.composite(build)()
+
+
+uops = _uop_strategy()
+
+
+class TestRoundtrip:
+    @given(uop=uops)
+    @settings(max_examples=400)
+    def test_roundtrip(self, uop):
+        decoded = decode_uop(encode_uop(uop))
+        assert decoded.op is uop.op
+        assert decoded.fused == uop.fused
+        # compare only the fields that the format encodes for this op
+        assert str(decoded) == str(uop.with_fused(uop.fused))
+
+    @given(sequence=st.lists(uops, min_size=1, max_size=20))
+    @settings(max_examples=100)
+    def test_stream_roundtrip(self, sequence):
+        data = encode_stream(sequence)
+        assert len(data) == stream_length(sequence)
+        decoded = decode_stream(data)
+        assert [str(uop) for uop in decoded] == \
+            [str(uop) for uop in sequence]

@@ -1,0 +1,273 @@
+"""Native machine tests: micro-op semantics, control flow, VM exits."""
+
+import pytest
+
+from repro.isa.fusible import (
+    ExitEvent,
+    FusibleMachine,
+    MicroOp,
+    NativeMachineError,
+    UOp,
+    encode_stream,
+)
+from repro.isa.fusible.registers import R_ZERO
+from repro.isa.x86lite.registers import Cond
+from repro.memory import AddressSpace
+
+CODE = 0x1000_0000
+
+
+def run_code(uops, setup=None, max_uops=10_000):
+    memory = AddressSpace()
+    memory.write(CODE, encode_stream(uops))
+    machine = FusibleMachine(memory)
+    if setup:
+        setup(machine)
+    event = machine.run(CODE, max_uops=max_uops)
+    return machine, event
+
+
+class TestAlu:
+    def test_addi_and_halt(self):
+        machine, event = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=41),
+            MicroOp(UOp.ADDI2, rd=1, imm=1),
+            MicroOp(UOp.HALT),
+        ])
+        assert event.kind == "halt"
+        assert machine.regs[1] == 42
+
+    def test_lui_ori_builds_constant(self):
+        value = 0xDEADBEEF
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=5, imm=value >> 13),
+            MicroOp(UOp.ORI, rd=5, rs1=5, imm=value & 0x1FFF),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[5] == value
+
+    def test_zero_register_is_immutable(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=R_ZERO, rs1=R_ZERO, imm=99),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.get_reg(R_ZERO) == 0
+
+    def test_flags_only_with_setflags(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=0),
+            MicroOp(UOp.HALT),
+        ])
+        assert not machine.zf  # no .f, no flag update
+
+    def test_setflags_zero(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=0, setflags=True),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.zf
+
+    def test_sel_conditional_move(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=7),
+            MicroOp(UOp.ADDI, rd=2, rs1=R_ZERO, imm=0, setflags=True),
+            MicroOp(UOp.SEL, rd=3, rs1=1, cond=Cond.E),
+            MicroOp(UOp.SEL, rd=4, rs1=1, cond=Cond.NE),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[3] == 7   # ZF set -> taken
+        assert machine.regs[4] == 0   # not taken
+
+    def test_incf_preserves_carry(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=-1),
+            MicroOp(UOp.ADDI2, rd=1, imm=1, setflags=True),  # sets CF
+            MicroOp(UOp.INCF, rd=2, rs1=2, setflags=True),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.cf
+
+    def test_mulh_signed(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=-2),
+            MicroOp(UOp.ADDI, rd=2, rs1=R_ZERO, imm=3),
+            MicroOp(UOp.MULH, rd=3, rs1=1, rs2=2),
+            MicroOp(UOp.MULL, rd=4, rs1=1, rs2=2),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[4] == 0xFFFFFFFA  # -6 low
+        assert machine.regs[3] == 0xFFFFFFFF  # -6 high
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=0x123),
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.STW, rd=1, rs1=2, imm=8),
+            MicroOp(UOp.LDW, rd=3, rs1=2, imm=8),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[3] == 0x123
+
+    def test_byte_sign_extension(self):
+        def setup(machine):
+            machine.memory.write_u8(0x500000, 0x80)
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.LDBS, rd=1, rs1=2, imm=0),
+            MicroOp(UOp.LDBU, rd=3, rs1=2, imm=0),
+            MicroOp(UOp.HALT),
+        ], setup=setup)
+        assert machine.regs[1] == 0xFFFFFF80
+        assert machine.regs[3] == 0x80
+
+    def test_freg_load_store(self):
+        def setup(machine):
+            machine.memory.write(0x500000, bytes(range(16)))
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.LDF, rd=1, rs1=2, imm=0),
+            MicroOp(UOp.STF, rd=1, rs1=2, imm=16),
+            MicroOp(UOp.HALT),
+        ], setup=setup)
+        assert machine.memory.read(0x500010, 16) == bytes(range(16))
+
+
+class TestControlFlow:
+    def test_bc_loop(self):
+        # r1 = 5; loop: r2 += r1; r1 -= 1 (.f); bne loop
+        loop_body = [
+            MicroOp(UOp.ADD2, rd=2, rs1=1),
+            MicroOp(UOp.ADDI2, rd=1, imm=-1, setflags=True),
+            MicroOp(UOp.BC, cond=Cond.NE, imm=0),  # patched below
+            MicroOp(UOp.HALT),
+        ]
+        # offset: branch target is start of loop body relative to next uop
+        body_len = loop_body[0].length + loop_body[1].length \
+            + loop_body[2].length
+        loop_body[2] = MicroOp(UOp.BC, cond=Cond.NE, imm=-body_len)
+        machine, event = run_code(
+            [MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=5)] + loop_body)
+        assert event.kind == "halt"
+        assert machine.regs[2] == 15  # 5+4+3+2+1
+
+    def test_jmp_skips(self):
+        machine, _ = run_code([
+            MicroOp(UOp.JMP, imm=4),                        # skip next
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=99),    # skipped
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[1] == 0
+
+    def test_jr_indirect(self):
+        # jump over one 4-byte uop via register
+        target = CODE + 16  # lui + ori + jr + skipped addi
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=1, imm=target >> 13),
+            MicroOp(UOp.ORI, rd=1, rs1=1, imm=target & 0x1FFF),
+            MicroOp(UOp.JR, rs1=1),
+            MicroOp(UOp.ADDI, rd=2, rs1=R_ZERO, imm=1),  # skipped
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.regs[2] == 0
+
+    def test_vmexit_reports_target(self):
+        machine, event = run_code([
+            MicroOp(UOp.ADDI, rd=29, rs1=R_ZERO, imm=0x77),
+            MicroOp(UOp.VMEXIT, rs1=29),
+        ])
+        assert event.kind == "vmexit"
+        assert event.value == 0x77
+
+    def test_vmcall_reports_service(self):
+        machine, event = run_code([MicroOp(UOp.VMCALL, imm=3)])
+        assert event.kind == "vmcall"
+        assert event.value == 3
+        assert event.resume_pc == CODE + 4
+
+    def test_runaway_guard(self):
+        memory = AddressSpace()
+        memory.write(CODE, encode_stream([MicroOp(UOp.JMP, imm=-4)]))
+        machine = FusibleMachine(memory)
+        with pytest.raises(NativeMachineError):
+            machine.run(CODE, max_uops=50)
+
+    def test_bad_code_raises(self):
+        memory = AddressSpace()
+        machine = FusibleMachine(memory)
+        memory.write(CODE, b"\xff\x7f\xff\xff")  # invalid long opcode
+        with pytest.raises(NativeMachineError):
+            machine.run(CODE)
+
+
+class TestSpecial:
+    def test_rdflg_wrflg_roundtrip(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=0, setflags=True),
+            MicroOp(UOp.RDFLG, rd=5),
+            MicroOp(UOp.ADDI, rd=2, rs1=R_ZERO, imm=1, setflags=True),
+            MicroOp(UOp.WRFLG, rs1=5),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.zf  # restored from the packed snapshot
+
+    def test_xltx86_simple_instruction(self):
+        from repro.isa.fusible.encoding import decode_stream
+
+        def setup(machine):
+            machine.memory.write(0x500000,
+                                 b"\x01\xd8" + bytes(14))  # add eax, ebx
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.LDF, rd=1, rs1=2, imm=0),
+            MicroOp(UOp.XLTX86, rd=3, rs1=1),
+            MicroOp(UOp.LDCSR, rd=4),
+            MicroOp(UOp.HALT),
+        ], setup=setup)
+        assert machine.csr_ilen == 2
+        assert not machine.csr_cmplx and not machine.csr_cti
+        uops = decode_stream(bytes(machine.fregs[3][:machine.csr_uop_bytes]))
+        assert [uop.op for uop in uops] == [UOp.ADD2]
+        # CSR packing: ilen in bits 0-4, byte count in bits 5-9
+        assert machine.regs[4] & 0x1F == 2
+        assert (machine.regs[4] >> 5) & 0x1F == 2
+
+    def test_xltx86_complex_sets_flag(self):
+        def setup(machine):
+            machine.memory.write(0x500000, b"\xf7\xf3" + bytes(14))  # div
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.LDF, rd=1, rs1=2, imm=0),
+            MicroOp(UOp.XLTX86, rd=3, rs1=1),
+            MicroOp(UOp.HALT),
+        ], setup=setup)
+        assert machine.csr_cmplx
+
+    def test_jcsrc_branches_on_complex(self):
+        def setup(machine):
+            machine.memory.write(0x500000, b"\xcd\x80" + bytes(14))  # int
+        machine, _ = run_code([
+            MicroOp(UOp.LUI, rd=2, imm=0x500000 >> 13),
+            MicroOp(UOp.LDF, rd=1, rs1=2, imm=0),
+            MicroOp(UOp.XLTX86, rd=3, rs1=1),
+            MicroOp(UOp.JCSRC, imm=4),
+            MicroOp(UOp.ADDI, rd=5, rs1=R_ZERO, imm=1),  # skipped
+            MicroOp(UOp.HALT),
+        ], setup=setup)
+        assert machine.regs[5] == 0
+
+    def test_execute_uops_rejects_branches(self):
+        machine = FusibleMachine(AddressSpace())
+        with pytest.raises(NativeMachineError):
+            machine.execute_uops([MicroOp(UOp.JMP, imm=0)])
+
+    def test_stats_counting(self):
+        machine, _ = run_code([
+            MicroOp(UOp.ADDI, rd=1, rs1=R_ZERO, imm=1, fused=True),
+            MicroOp(UOp.ADD2, rd=2, rs1=1),
+            MicroOp(UOp.HALT),
+        ])
+        assert machine.uops_executed == 3
+        assert machine.fused_pairs_seen == 1
+        assert machine.uop_bytes_fetched == 4 + 2 + 4

@@ -1,0 +1,149 @@
+"""LOOP / JECXZ instruction tests (microcoded complex CTIs)."""
+
+import pytest
+
+from repro.core import (
+    CoDesignedVM,
+    interp_sbt,
+    ref_superscalar,
+    vm_be,
+    vm_fe,
+    vm_soft,
+)
+from repro.isa.x86lite import Op, Reg, assemble, decode
+from repro.translator import crack, is_crackable
+from tests.conftest import run_source
+
+ALL = [ref_superscalar, vm_soft, vm_be, vm_fe, interp_sbt]
+
+
+class TestEncoding:
+    def test_loop_encoding(self):
+        data = assemble("top: nop\nloop top").text.data
+        assert data[1] == 0xE2
+        decoded = decode(data, addr=0, offset=1)
+        assert decoded.op is Op.LOOP
+
+    def test_jecxz_encoding(self):
+        data = assemble("top: nop\njecxz top").text.data
+        assert data[1] == 0xE3
+
+    def test_target_resolution(self):
+        decoded = decode(b"\xe2\xfe", addr=0x400000)
+        assert decoded.target == 0x400000
+
+    def test_out_of_range_rejected(self):
+        source = "start: loop far\n" + "\n".join(["nop"] * 200) + \
+            "\nfar: hlt"
+        with pytest.raises(Exception):
+            assemble(source)
+
+
+class TestSemantics:
+    def test_loop_counts_down(self):
+        state = run_source("""
+        start:
+            mov ecx, 5
+        top:
+            add eax, 2
+            loop top
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 10
+        assert state.regs[Reg.ECX] == 0
+
+    def test_loop_preserves_flags(self):
+        state = run_source("""
+        start:
+            mov eax, 0
+            add eax, 0           ; ZF=1, CF=0
+            mov ecx, 3
+        top:
+            loop top             ; must not touch flags
+            hlt
+        """)
+        assert state.zf and not state.cf
+
+    def test_loop_with_ecx_one_falls_through(self):
+        state = run_source("""
+        start:
+            mov ecx, 1
+        top:
+            inc eax
+            loop top
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 1
+
+    def test_jecxz_taken(self):
+        state = run_source("""
+        start:
+            mov ecx, 0
+            jecxz skip
+            mov eax, 1
+        skip:
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 0
+
+    def test_jecxz_not_taken(self):
+        state = run_source("""
+        start:
+            mov ecx, 7
+            jecxz skip
+            mov eax, 1
+        skip:
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 1
+
+
+class TestClassification:
+    def test_complex_not_crackable(self):
+        instr = decode(b"\xe2\xfe")
+        assert instr.is_complex and instr.is_control_transfer
+        assert not is_crackable(instr)
+        assert crack(instr).cmplx
+
+    def test_xltx86_flags_complex_and_cti(self):
+        from repro.hwassist import XLTx86Unit
+        result = XLTx86Unit().translate(b"\xe2\xfe")
+        assert result.flag_cmplx and result.flag_cti
+
+
+class TestAcrossConfigs:
+    SOURCE = """
+    start:
+        mov ecx, 25
+        mov esi, 0
+    top:
+        add esi, ecx
+        imul eax, ecx, 3
+        xor esi, eax
+        loop top
+        jecxz done
+        mov esi, 0xBAD
+    done:
+        mov eax, 1
+        mov ebx, esi
+        int 0x80
+        mov eax, 0
+        mov ebx, 0
+        int 0x80
+    """
+
+    def test_same_results_everywhere(self):
+        outputs = []
+        for factory in ALL:
+            vm = CoDesignedVM(factory(), hot_threshold=4)
+            vm.load(assemble(self.SOURCE))
+            report = vm.run()
+            outputs.append((tuple(report.output),
+                            tuple(vm.state.regs)))
+        assert all(output == outputs[0] for output in outputs[1:])
+
+    def test_loop_is_interpreted_in_vm(self):
+        vm = CoDesignedVM(vm_soft(), hot_threshold=1000)
+        vm.load(assemble(self.SOURCE))
+        report = vm.run()
+        assert report.interp_one_calls >= 25  # one per LOOP execution

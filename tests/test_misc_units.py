@@ -1,0 +1,111 @@
+"""Unit tests for small supporting pieces: emission helpers, reports,
+loader symbols, and the one-shot runner."""
+
+import pytest
+
+from repro.core import ExecutionReport, ref_superscalar, vm_soft
+from repro.core.vm import run_program
+from repro.isa.fusible import UOp, decode_stream, encode_stream
+from repro.isa.fusible.registers import R_EXIT_TARGET
+from repro.isa.x86lite import assemble
+from repro.translator.emit import (
+    EXIT_STUB_BYTES,
+    PROFILE_PROLOGUE_BYTES,
+    direct_exit_stub,
+    indirect_exit,
+    profile_prologue,
+    vmcall_complex,
+)
+
+
+class TestEmitHelpers:
+    def test_exit_stub_is_fixed_size(self):
+        for target in (0, 0x400000, 0xFFFFFFF0):
+            stub = direct_exit_stub(target, 0)
+            assert sum(u.length for u in stub) == EXIT_STUB_BYTES
+
+    def test_exit_stub_builds_exact_target(self):
+        from repro.isa.fusible import FusibleMachine
+        from repro.memory import AddressSpace
+        for target in (0x400000, 0x00401337, 0x89ABCDEF):
+            machine = FusibleMachine(AddressSpace())
+            machine.memory.write(0x1000,
+                                 encode_stream(direct_exit_stub(target,
+                                                                0)))
+            event = machine.run(0x1000)
+            assert event.kind == "vmexit"
+            assert event.value == target
+
+    def test_stub_roundtrips(self):
+        stub = direct_exit_stub(0x400123, 0x400000)
+        decoded = decode_stream(encode_stream(stub))
+        assert [u.op for u in decoded] == [UOp.LUI, UOp.ORI, UOp.VMEXIT]
+        assert decoded[0].rd == R_EXIT_TARGET
+
+    def test_indirect_exit(self):
+        (uop,) = indirect_exit(0x400000)
+        assert uop.op is UOp.VMEXIT and uop.rs1 == R_EXIT_TARGET
+
+    def test_vmcall_complex_tags_address(self):
+        (uop,) = vmcall_complex(0x401234)
+        assert uop.op is UOp.VMCALL and uop.x86_addr == 0x401234
+
+    def test_prologue_size_constant_matches(self):
+        for counter in (0x28000000, 0x28001FFC):
+            uops = profile_prologue(counter, 0x400000)
+            assert sum(u.length for u in uops) == PROFILE_PROLOGUE_BYTES
+
+    def test_prologue_restores_flags(self):
+        ops = [u.op for u in profile_prologue(0x28000000, 0)]
+        assert ops[0] is UOp.RDFLG and ops[-1] is UOp.WRFLG
+
+
+class TestExecutionReport:
+    def test_fused_fraction_bounds(self):
+        report = ExecutionReport("x", 0, uops_executed=100,
+                                 fused_pairs_executed=20)
+        assert report.fused_uop_fraction == pytest.approx(0.4)
+
+    def test_fused_fraction_zero_uops(self):
+        assert ExecutionReport("x", 0).fused_uop_fraction == 0.0
+
+    def test_summary_mentions_xlt_only_when_used(self):
+        without = ExecutionReport("a", 0)
+        with_ = ExecutionReport("a", 0, xltx86_invocations=5)
+        assert "XLTx86" not in without.summary()
+        assert "XLTx86" in with_.summary()
+
+
+class TestLoaderSymbols:
+    def test_labels_exposed_on_image(self):
+        image = assemble("start:\nnop\nmiddle:\nhlt")
+        assert image.labels["middle"] == image.labels["start"] + 1
+
+    def test_entry_prefers_start(self):
+        image = assemble("first:\nnop\nstart:\nhlt")
+        assert image.entry == image.labels["start"]
+
+
+class TestRunProgram:
+    SOURCE = """
+    start:
+        mov eax, 1
+        mov ebx, 777
+        int 0x80
+        mov eax, 0
+        mov ebx, 0
+        int 0x80
+    """
+
+    def test_run_from_source(self):
+        report = run_program(self.SOURCE, ref_superscalar())
+        assert report.output == [777]
+
+    def test_run_from_image(self):
+        report = run_program(assemble(self.SOURCE), vm_soft(),
+                             hot_threshold=5)
+        assert report.output == [777]
+
+    def test_default_config_is_vm(self):
+        report = run_program(self.SOURCE)
+        assert report.config_name == "VM.soft"

@@ -1,0 +1,91 @@
+"""Warm/cold restart tests — the functional analogue of scenarios 2/3."""
+
+import pytest
+
+from repro.core import CoDesignedVM, ref_superscalar, vm_soft
+from repro.isa.x86lite import assemble
+from repro.workloads.programs import PROGRAMS
+
+PROGRAM = PROGRAMS["fibonacci"]
+
+
+def make_vm():
+    vm = CoDesignedVM(vm_soft(), hot_threshold=8)
+    vm.load(assemble(PROGRAM))
+    return vm
+
+
+class TestWarmRestart:
+    def test_same_results_on_second_run(self):
+        vm = make_vm()
+        first = vm.run()
+        vm.restart(warm=True)
+        second = vm.run()
+        assert second.output == first.output
+        assert second.exit_code == first.exit_code
+
+    def test_no_retranslation_when_warm(self):
+        vm = make_vm()
+        vm.run()
+        translated_once = vm.runtime.bbt.blocks_translated
+        optimized_once = vm.runtime.sbt.superblocks_translated
+        vm.restart(warm=True)
+        vm.run()
+        assert vm.runtime.bbt.blocks_translated == translated_once
+        assert vm.runtime.sbt.superblocks_translated == optimized_once
+
+    def test_warm_run_uses_existing_chains(self):
+        vm = make_vm()
+        vm.run()
+        chains = vm.runtime.directory.chains_made
+        exits_first = vm.runtime.vm_exits
+        vm.restart(warm=True)
+        vm.run()
+        # second run re-enters chained/optimized code: fewer exits added
+        assert vm.runtime.vm_exits - exits_first <= exits_first
+        assert vm.runtime.directory.chains_made == chains
+
+    def test_data_segments_restored(self):
+        source = """
+        start:
+            mov eax, [counter]
+            inc eax
+            mov [counter], eax
+            mov ebx, eax
+            mov eax, 1
+            int 0x80
+            mov eax, 0
+            mov ebx, 0
+            int 0x80
+        counter: .dd 100
+        """
+        vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+        vm.load(assemble(source))
+        first = vm.run()
+        vm.restart(warm=True)
+        second = vm.run()
+        assert first.output == second.output == [101]
+
+
+class TestColdRestart:
+    def test_cold_restart_retranslates(self):
+        vm = make_vm()
+        vm.run()
+        translated_once = vm.runtime.bbt.blocks_translated
+        vm.restart(warm=False)
+        vm.run()
+        # a fresh runtime starts its own translation counters
+        assert vm.runtime.bbt.blocks_translated == translated_once
+
+    def test_reference_restart(self):
+        vm = CoDesignedVM(ref_superscalar())
+        vm.load(assemble(PROGRAM))
+        first = vm.run()
+        vm.restart()
+        second = vm.run()
+        assert first.output == second.output
+
+    def test_restart_requires_load(self):
+        vm = CoDesignedVM(vm_soft())
+        with pytest.raises(RuntimeError):
+            vm.restart()

@@ -1,0 +1,174 @@
+"""Deeper semantics corner cases for the reference machine."""
+
+import pytest
+
+from repro.isa.x86lite import ArchException, Reg
+from tests.conftest import run_source
+
+
+def run(source):
+    return run_source(source + "\nhlt")
+
+
+class TestStringCorners:
+    def test_rep_with_zero_count_is_noop(self):
+        state = run("""
+        start:
+            mov esi, 0x500000
+            mov edi, 0x600000
+            mov dword [esi], 0xAA
+            mov ecx, 0
+            rep movsd
+            mov eax, [0x600000]
+        """)
+        assert state.regs[Reg.EAX] == 0
+        assert state.regs[Reg.ESI] == 0x500000  # pointers untouched
+
+    def test_movsd_overlapping_forward(self):
+        # ascending copy with overlap propagates the first word
+        state = run("""
+        start:
+            mov dword [0x500000], 7
+            mov dword [0x500004], 8
+            mov esi, 0x500000
+            mov edi, 0x500004
+            mov ecx, 2
+            rep movsd
+            mov eax, [0x500004]
+            mov ebx, [0x500008]
+        """)
+        assert state.regs[Reg.EAX] == 7
+        assert state.regs[Reg.EBX] == 7
+
+    def test_stos_then_lods_roundtrip(self):
+        state = run("""
+        start:
+            mov eax, 0x1234
+            mov edi, 0x500000
+            stosd
+            mov esi, 0x500000
+            mov eax, 0
+            lodsd
+        """)
+        assert state.regs[Reg.EAX] == 0x1234
+
+
+class TestDivisionCorners:
+    def test_idiv_min_by_minus_one_overflows(self):
+        with pytest.raises(ArchException, match="divide-overflow"):
+            run("""
+            start:
+                mov edx, 0xFFFFFFFF
+                mov eax, 0x80000000   ; -2^31 in EDX:EAX
+                mov ebx, -1
+                idiv ebx              ; quotient +2^31 unrepresentable
+            """)
+
+    def test_idiv_negative_remainder_sign(self):
+        # remainder takes the dividend's sign
+        state = run("""
+        start:
+            mov eax, -7
+            mov edx, -1
+            mov ebx, -2
+            idiv ebx
+        """)
+        assert state.regs[Reg.EAX] == 3              # -7 / -2 = 3
+        assert state.regs[Reg.EDX] == 0xFFFFFFFF     # rem -1
+
+    def test_div_uses_full_64bit_dividend(self):
+        state = run("""
+        start:
+            mov edx, 1
+            mov eax, 0            ; dividend = 2^32
+            mov ebx, 16
+            div ebx
+        """)
+        assert state.regs[Reg.EAX] == 0x10000000
+        assert state.regs[Reg.EDX] == 0
+
+
+class TestShiftCorners:
+    def test_shl_count_32_masks_to_zero(self):
+        state = run("""
+        start:
+            mov eax, 0
+            add eax, 0            ; ZF set
+            mov ebx, 0xFF
+            mov ecx, 32
+            shl ebx, ecx          ; count & 31 == 0: no change at all
+        """)
+        assert state.regs[Reg.EBX] == 0xFF
+        assert state.zf  # flags preserved too
+
+    def test_sar_all_the_way(self):
+        state = run("mov eax, 0x80000000\nsar eax, 31")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFF
+
+    def test_shr_then_of_semantics(self):
+        state = run("mov eax, 0x80000000\nshr eax, 1")
+        assert state.of  # OF = original MSB for 1-bit SHR
+        assert state.regs[Reg.EAX] == 0x40000000
+
+
+class TestWraparound:
+    def test_address_wraparound_in_lea(self):
+        state = run("""
+        start:
+            mov ebx, 0xFFFFFFFF
+            lea eax, [ebx+2]
+        """)
+        assert state.regs[Reg.EAX] == 1
+
+    def test_imul_widening_negative(self):
+        state = run("""
+        start:
+            mov eax, -3
+            mov ebx, -4
+            imul ebx
+        """)
+        assert state.regs[Reg.EAX] == 12
+        assert state.regs[Reg.EDX] == 0
+
+    def test_xchg_with_memory(self):
+        state = run("""
+        start:
+            mov ebx, 0x500000
+            mov dword [ebx], 5
+            mov eax, 9
+            xchg [ebx], eax
+            mov ecx, [ebx]
+        """)
+        assert state.regs[Reg.EAX] == 5
+        assert state.regs[Reg.ECX] == 9
+
+
+class TestSixteenBitCorners:
+    def test_16bit_push_pop(self):
+        state = run("""
+        start:
+            mov eax, 0x12345678
+            push ax
+            mov ebx, 0
+            pop bx
+        """)
+        assert state.regs[Reg.EBX] & 0xFFFF == 0x5678
+
+    def test_16bit_imul(self):
+        state = run("""
+        start:
+            mov eax, 0xFFFF0003
+            mov ebx, 0x00000005
+            imul ax, bx
+        """)
+        assert state.regs[Reg.EAX] == 0xFFFF000F  # upper half preserved
+
+    def test_16bit_inc_wraps(self):
+        state = run("""
+        start:
+            mov eax, 0x0001FFFF
+            mov bx, 1
+            add ax, bx
+        """)
+        assert state.regs[Reg.EAX] == 0x00010000
+        assert state.cf and state.zf

@@ -1,0 +1,201 @@
+"""Targeted architected edge cases through every execution path.
+
+IA-32's stack-pointer corner semantics (PUSH ESP stores the *old* value,
+POP ESP loads into ESP without the post-increment) are easy to get wrong
+in a translator; these tests pin them down in the reference semantics and
+differentially through the cracked/translated paths.
+"""
+
+import pytest
+
+from repro.core import CoDesignedVM, ref_superscalar, vm_be, vm_fe, \
+    vm_soft
+from repro.isa.x86lite import Reg, assemble
+from tests.conftest import run_source
+
+CONFIGS = [ref_superscalar, vm_soft, vm_be, vm_fe]
+
+
+def run_everywhere(source):
+    image = assemble(source)
+    states = []
+    for factory in CONFIGS:
+        vm = CoDesignedVM(factory(), hot_threshold=50)
+        vm.load(image)
+        vm.run()
+        states.append(vm.state)
+    reference = states[0]
+    for state in states[1:]:
+        assert state.regs == reference.regs
+        assert state.flags_tuple() == reference.flags_tuple()
+    return reference
+
+
+class TestPushPopEsp:
+    def test_push_esp_stores_old_value(self):
+        state = run_everywhere("""
+        start:
+            mov ebx, esp        ; remember original
+            push esp
+            pop eax             ; should be the ORIGINAL esp
+            sub eax, ebx        ; zero if correct
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 0
+
+    def test_pop_esp_loads_value(self):
+        state = run_everywhere("""
+        start:
+            mov eax, 0x700000
+            push eax
+            pop esp             ; ESP becomes 0x700000 (no post-adjust)
+            mov ebx, esp
+            hlt
+        """)
+        assert state.regs[Reg.EBX] == 0x700000
+
+    def test_esp_relative_addressing(self):
+        state = run_everywhere("""
+        start:
+            push 11
+            push 22
+            mov eax, [esp]      ; 22
+            mov ebx, [esp+4]    ; 11
+            add esp, 8
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 22
+        assert state.regs[Reg.EBX] == 11
+
+    def test_push_memory_operand(self):
+        state = run_everywhere("""
+        start:
+            mov ebx, 0x600000
+            mov dword [ebx], 77
+            push dword [ebx]
+            pop eax
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 77
+
+
+class TestFlagCornerCases:
+    def test_sbb_chain_borrow(self):
+        # 64-bit subtraction via SUB/SBB pair
+        state = run_everywhere("""
+        start:
+            mov eax, 0x00000000  ; low(a)
+            mov edx, 0x00000002  ; high(a): a = 0x2_00000000
+            sub eax, 1           ; a - 1
+            sbb edx, 0
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 0xFFFFFFFF
+        assert state.regs[Reg.EDX] == 1
+
+    def test_adc_chain_carry(self):
+        state = run_everywhere("""
+        start:
+            mov eax, 0xFFFFFFFF
+            mov edx, 0
+            add eax, 1
+            adc edx, 0
+            hlt
+        """)
+        assert state.regs[Reg.EDX] == 1
+
+    def test_cmp_chain_into_cmov(self):
+        state = run_everywhere("""
+        start:
+            mov eax, 5
+            mov ebx, 9
+            mov ecx, 111
+            mov edx, 222
+            cmp eax, ebx
+            cmovl ecx, edx       ; 5 < 9 -> taken
+            hlt
+        """)
+        assert state.regs[Reg.ECX] == 222
+
+    def test_dec_jnz_preserves_cf_for_adc(self):
+        # a loop that relies on CF surviving DEC across iterations
+        state = run_everywhere("""
+        start:
+            mov ecx, 4
+            mov eax, 0xFFFFFFFE
+            mov esi, 0
+        loop:
+            add eax, 1           ; sets CF on the second iteration
+            adc esi, 0           ; accumulates carries
+            dec ecx              ; must NOT clobber CF
+            jnz loop
+            hlt
+        """)
+        assert state.regs[Reg.ESI] == 1
+
+    def test_neg_flag_consumers(self):
+        state = run_everywhere("""
+        start:
+            mov eax, 5
+            neg eax              ; CF set (operand nonzero)
+            mov ebx, 0
+            adc ebx, 0           ; picks up the CF
+            hlt
+        """)
+        assert state.regs[Reg.EBX] == 1
+
+
+class TestAddressingCornerCases:
+    def test_negative_displacement(self):
+        state = run_everywhere("""
+        start:
+            mov ebx, 0x600010
+            mov dword [ebx-16], 42
+            mov eax, [0x600000]
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 42
+
+    def test_scaled_index_times_eight(self):
+        state = run_everywhere("""
+        start:
+            mov ecx, 3
+            mov dword [0x600018], 99
+            mov eax, [0x600000+ecx*8]
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 99
+
+    def test_same_register_base_and_index(self):
+        state = run_everywhere("""
+        start:
+            mov ebx, 0x300000
+            mov dword [0x600000], 7
+            lea eax, [ebx+ebx*1]  ; 0x600000
+            mov eax, [eax]
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 7
+
+    def test_large_displacement_rmw(self):
+        # exceeds imm13; the cracker must materialize the address
+        state = run_everywhere("""
+        start:
+            mov ebx, 8
+            mov dword [0x612345], 100
+            add [ebx+0x61233d], ebx
+            mov eax, [0x612345]
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 108
+
+    def test_sixteen_bit_ops_fall_back_precisely(self):
+        # width-16 forms are complex -> interpreted, still exact
+        state = run_everywhere("""
+        start:
+            mov eax, 0xAAAA5555
+            mov bx, 0x0F0F
+            add ax, bx           ; 16-bit add: 0x5555+0x0F0F = 0x6464
+            hlt
+        """)
+        assert state.regs[Reg.EAX] == 0xAAAA6464

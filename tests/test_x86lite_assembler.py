@@ -1,0 +1,200 @@
+"""Tests for the two-pass x86lite assembler."""
+
+import pytest
+
+from repro.isa.x86lite import (
+    AssemblerError,
+    Op,
+    Reg,
+    assemble,
+    assemble_to_bytes,
+    decode,
+)
+from repro.memory.loader import DEFAULT_TEXT_BASE
+
+
+def decode_all(data: bytes, base: int = DEFAULT_TEXT_BASE):
+    """Decode a byte string fully into instructions."""
+    out = []
+    offset = 0
+    while offset < len(data):
+        instr = decode(data, addr=base + offset, offset=offset)
+        out.append(instr)
+        offset += instr.length
+    return out
+
+
+class TestBasics:
+    def test_single_instruction(self):
+        assert assemble_to_bytes("nop") == b"\x90"
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        ; leading comment
+        nop      ; trailing comment
+
+        hlt
+        """
+        assert assemble_to_bytes(source) == b"\x90\xf4"
+
+    def test_mov_imm(self):
+        data = assemble_to_bytes("mov eax, 0x42")
+        assert data == b"\xb8\x42\x00\x00\x00"
+
+    def test_memory_operands(self):
+        instrs = decode_all(assemble_to_bytes(
+            "mov eax, [ebx+ecx*4+8]\nmov [ebp-4], edx"))
+        first, second = instrs
+        mem = first.operands[1]
+        assert (mem.base, mem.index, mem.scale, mem.disp) \
+            == (Reg.EBX, Reg.ECX, 4, 8)
+        mem2 = second.operands[0]
+        assert (mem2.base, mem2.disp) == (Reg.EBP, -4)
+
+    def test_char_literal(self):
+        data = assemble_to_bytes("mov ebx, 'A'")
+        assert data == b"\xbb\x41\x00\x00\x00"
+
+    def test_negative_immediate(self):
+        instrs = decode_all(assemble_to_bytes("add eax, -1"))
+        assert instrs[0].operands[1].value == 0xFFFFFFFF
+
+    def test_size_keyword(self):
+        instrs = decode_all(assemble_to_bytes("movzx eax, byte [esi]"))
+        assert instrs[0].op is Op.MOVZX
+        assert instrs[0].operands[1].size == 8
+
+    def test_16bit_register_selects_width(self):
+        data = assemble_to_bytes("mov ax, 5")
+        assert data[0] == 0x66
+
+    def test_rep_prefix(self):
+        data = assemble_to_bytes("rep movsd")
+        assert data == b"\xf3\xa5"
+
+
+class TestLabels:
+    def test_backward_branch_is_short(self):
+        data = assemble_to_bytes("top: dec eax\njnz top")
+        assert data[-2] == 0x75  # short jnz
+
+    def test_forward_branch_resolves(self):
+        source = """
+        jmp done
+        nop
+        done: hlt
+        """
+        instrs = decode_all(assemble_to_bytes(source))
+        jmp = instrs[0]
+        assert jmp.op is Op.JMP
+        # target must land on the hlt
+        assert any(instr.addr == jmp.target and instr.op is Op.HLT
+                   for instr in instrs)
+
+    def test_entry_is_start_label(self):
+        image = assemble("nop\nstart: hlt")
+        assert image.entry == image.text.addr + 1
+
+    def test_entry_defaults_to_base(self):
+        image = assemble("nop")
+        assert image.entry == DEFAULT_TEXT_BASE
+
+    def test_call_forward(self):
+        source = """
+        start:
+            call fn
+            hlt
+        fn:
+            ret
+        """
+        instrs = decode_all(assemble_to_bytes(source))
+        call = instrs[0]
+        assert any(instr.addr == call.target and instr.op is Op.RET
+                   for instr in instrs)
+
+    def test_label_as_immediate(self):
+        source = """
+        start: mov eax, table
+               hlt
+        table: .dd 1, 2, 3
+        """
+        image = assemble(source)
+        first = decode(image.text.data, addr=image.text.addr)
+        assert first.operands[1].value == image.labels["table"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_label_on_own_line(self):
+        data = assemble_to_bytes("loop:\n  jmp loop")
+        assert data == b"\xeb\xfe"
+
+
+class TestDirectives:
+    def test_db(self):
+        image = assemble("nop\n.db 1, 2, 0xFF")
+        assert image.text.data == b"\x90\x01\x02\xff"
+
+    def test_dd(self):
+        image = assemble("nop\n.dd 0x11223344")
+        assert image.text.data == b"\x90\x44\x33\x22\x11"
+
+    def test_zero(self):
+        image = assemble("nop\n.zero 4\nhlt")
+        assert image.text.data == b"\x90\x00\x00\x00\x00\xf4"
+
+    def test_align(self):
+        image = assemble("nop\n.align 8\nhlt")
+        assert len(image.text.data) == 9
+        assert image.text.data[8] == 0xF4
+
+    def test_org_splits_segments(self):
+        image = assemble("nop\n.org 0x500000\nhlt")
+        assert len(image.segments) == 2
+        assert image.segments[1].addr == 0x500000
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate eax")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov eax, @#$")
+
+    def test_unterminated_memory(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov eax, [ebx")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("nop\nbogus eax")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("; nothing here")
+
+
+class TestConditionAliases:
+    @pytest.mark.parametrize("mnemonic,byte", [
+        ("je", 0x74), ("jz", 0x74), ("jne", 0x75), ("jnz", 0x75),
+        ("jl", 0x7C), ("jge", 0x7D), ("jle", 0x7E), ("jg", 0x7F),
+        ("jb", 0x72), ("jae", 0x73), ("ja", 0x77), ("js", 0x78),
+    ])
+    def test_jcc_aliases(self, mnemonic, byte):
+        data = assemble_to_bytes(f"top: nop\n{mnemonic} top")
+        assert data[1] == byte
+
+    def test_cmov(self):
+        instrs = decode_all(assemble_to_bytes("cmovne eax, ebx"))
+        assert instrs[0].op is Op.CMOV

@@ -1,0 +1,360 @@
+"""Semantics tests: flags, arithmetic, memory, stack, control transfer."""
+
+import pytest
+
+from repro.isa.x86lite import (
+    ArchException,
+    ImmOperand,
+    Instruction,
+    Op,
+    Reg,
+    RegOperand,
+    decode,
+    execute,
+)
+from tests.conftest import make_state, run_source
+
+
+def run_flags(source: str):
+    state = run_source(source + "\nhlt")
+    return state
+
+
+class TestArithmeticFlags:
+    def test_add_carry_and_zero(self):
+        state = run_flags("mov eax, 0xFFFFFFFF\nadd eax, 1")
+        assert state.regs[Reg.EAX] == 0
+        assert state.cf and state.zf and not state.sf and not state.of
+
+    def test_add_signed_overflow(self):
+        state = run_flags("mov eax, 0x7FFFFFFF\nadd eax, 1")
+        assert state.of and state.sf and not state.cf
+
+    def test_sub_borrow(self):
+        state = run_flags("mov eax, 1\nsub eax, 2")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFF
+        assert state.cf and state.sf and not state.zf and not state.of
+
+    def test_cmp_does_not_write(self):
+        state = run_flags("mov eax, 5\ncmp eax, 5")
+        assert state.regs[Reg.EAX] == 5
+        assert state.zf
+
+    def test_adc_uses_carry(self):
+        state = run_flags(
+            "mov eax, 0xFFFFFFFF\nadd eax, 1\nmov ebx, 10\nadc ebx, 0")
+        assert state.regs[Reg.EBX] == 11
+
+    def test_sbb_uses_borrow(self):
+        state = run_flags("mov eax, 0\nsub eax, 1\nmov ebx, 10\nsbb ebx, 0")
+        assert state.regs[Reg.EBX] == 9
+
+    def test_inc_preserves_carry(self):
+        state = run_flags("mov eax, 0xFFFFFFFF\nadd eax, 1\ninc eax")
+        assert state.cf  # carry survived the INC
+        assert state.regs[Reg.EAX] == 1
+
+    def test_dec_sets_zero(self):
+        state = run_flags("mov eax, 1\ndec eax")
+        assert state.zf
+
+    def test_logic_clears_cf_of(self):
+        state = run_flags("mov eax, 0xFFFFFFFF\nadd eax, 1\nand eax, 0")
+        assert not state.cf and not state.of and state.zf
+
+    def test_xor_self_zeroes(self):
+        state = run_flags("mov eax, 123\nxor eax, eax")
+        assert state.regs[Reg.EAX] == 0 and state.zf
+
+    def test_test_sets_flags_without_write(self):
+        state = run_flags("mov eax, 0x80000000\ntest eax, eax")
+        assert state.sf and not state.zf
+        assert state.regs[Reg.EAX] == 0x80000000
+
+    def test_neg(self):
+        state = run_flags("mov eax, 5\nneg eax")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFB
+        assert state.cf
+
+    def test_neg_zero_clears_cf(self):
+        state = run_flags("mov eax, 0\nneg eax")
+        assert not state.cf and state.zf
+
+    def test_not_preserves_flags(self):
+        state = run_flags("mov eax, 0\nadd eax, 0\nmov ebx, 5\nnot ebx")
+        assert state.zf  # from the ADD, untouched by NOT
+        assert state.regs[Reg.EBX] == 0xFFFFFFFA
+
+
+class TestShifts:
+    def test_shl_basic(self):
+        state = run_flags("mov eax, 3\nshl eax, 4")
+        assert state.regs[Reg.EAX] == 48
+
+    def test_shl_carry_out(self):
+        state = run_flags("mov eax, 0x80000000\nshl eax, 1")
+        assert state.cf and state.zf
+
+    def test_shr_logical(self):
+        state = run_flags("mov eax, 0x80000000\nshr eax, 31")
+        assert state.regs[Reg.EAX] == 1
+
+    def test_sar_arithmetic(self):
+        state = run_flags("mov eax, -8\nsar eax, 2")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFE
+
+    def test_shift_by_cl(self):
+        state = run_flags("mov eax, 1\nmov ecx, 5\nshl eax, cl"
+                          .replace("cl", "ecx"))
+        assert state.regs[Reg.EAX] == 32
+
+    def test_shift_count_masked(self):
+        state = run_flags("mov eax, 1\nmov ecx, 33\nshl eax, ecx")
+        assert state.regs[Reg.EAX] == 2  # 33 & 31 == 1
+
+    def test_zero_count_preserves_flags(self):
+        state = run_flags("mov eax, 0\nadd eax, 0\nmov ecx, 32\n"
+                          "mov ebx, 7\nshl ebx, ecx")
+        assert state.zf  # untouched
+        assert state.regs[Reg.EBX] == 7
+
+
+class TestMultiplyDivide:
+    def test_imul_two_operand(self):
+        state = run_flags("mov eax, 7\nmov ebx, -3\nimul eax, ebx")
+        assert state.regs[Reg.EAX] == 0xFFFFFFEB  # -21
+
+    def test_imul_three_operand(self):
+        state = run_flags("mov ebx, 10\nimul eax, ebx, 20")
+        assert state.regs[Reg.EAX] == 200
+
+    def test_imul_overflow_flag(self):
+        state = run_flags("mov eax, 0x10000\nimul eax, eax")
+        assert state.cf and state.of
+
+    def test_imul_one_operand_widening(self):
+        state = run_flags("mov eax, 0x80000000\nmov ebx, 2\nimul ebx")
+        # -2^31 * 2 = -2^32 -> EDX:EAX = 0xFFFFFFFF:00000000
+        assert state.regs[Reg.EAX] == 0
+        assert state.regs[Reg.EDX] == 0xFFFFFFFF
+
+    def test_mul_widening(self):
+        state = run_flags("mov eax, 0xFFFFFFFF\nmov ebx, 2\nmul ebx")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFE
+        assert state.regs[Reg.EDX] == 1
+        assert state.cf and state.of
+
+    def test_div(self):
+        state = run_flags("mov edx, 0\nmov eax, 100\nmov ebx, 7\ndiv ebx")
+        assert state.regs[Reg.EAX] == 14
+        assert state.regs[Reg.EDX] == 2
+
+    def test_idiv_truncates_toward_zero(self):
+        state = run_flags("mov eax, -7\nmov edx, -1\nmov ebx, 2\nidiv ebx")
+        assert state.regs[Reg.EAX] == 0xFFFFFFFD  # -3
+        assert state.regs[Reg.EDX] == 0xFFFFFFFF  # -1
+
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ArchException, match="divide-error"):
+            run_source("mov eax, 1\nmov ebx, 0\ndiv ebx\nhlt")
+
+    def test_divide_overflow_raises(self):
+        with pytest.raises(ArchException, match="divide-overflow"):
+            run_source("mov edx, 2\nmov eax, 0\nmov ebx, 1\ndiv ebx\nhlt")
+
+    def test_fault_eip_points_at_instruction(self):
+        from repro.interp import Interpreter
+        from repro.isa.x86lite import assemble
+        image = assemble("mov eax, 1\nmov ebx, 0\ndiv ebx\nhlt")
+        state = make_state(image)
+        interp = Interpreter(state)
+        with pytest.raises(ArchException) as excinfo:
+            interp.run()
+        assert state.eip == excinfo.value.addr
+
+
+class TestDataMovement:
+    def test_mov_memory_roundtrip(self):
+        state = run_flags("mov ebx, 0x500000\nmov dword [ebx], 0xDEAD\n"
+                          "mov eax, [ebx]")
+        assert state.regs[Reg.EAX] == 0xDEAD
+
+    def test_lea_computes_address(self):
+        state = run_flags("mov ebx, 100\nmov ecx, 3\nlea eax, [ebx+ecx*8+5]")
+        assert state.regs[Reg.EAX] == 129
+
+    def test_lea_does_not_touch_memory_or_flags(self):
+        state = run_flags("mov eax, 0\nadd eax, 0\nlea ebx, [eax+1]")
+        assert state.zf
+
+    def test_movzx_byte(self):
+        state = run_flags("mov ebx, 0x500000\nmov dword [ebx], 0x000000FF\n"
+                          "movzx eax, byte [ebx]")
+        assert state.regs[Reg.EAX] == 0xFF
+
+    def test_movsx_byte(self):
+        state = run_flags("mov ebx, 0x500000\nmov dword [ebx], 0x00000080\n"
+                          "movsx eax, byte [ebx]")
+        assert state.regs[Reg.EAX] == 0xFFFFFF80
+
+    def test_movsx_word(self):
+        state = run_flags("mov ebx, 0x500000\nmov dword [ebx], 0x8000\n"
+                          "movsx eax, word [ebx]")
+        assert state.regs[Reg.EAX] == 0xFFFF8000
+
+    def test_cmov_taken(self):
+        state = run_flags("mov eax, 0\nmov ebx, 7\ncmp eax, 0\n"
+                          "cmove ecx, ebx")
+        assert state.regs[Reg.ECX] == 7
+
+    def test_cmov_not_taken(self):
+        state = run_flags("mov ecx, 1\nmov eax, 5\nmov ebx, 7\ncmp eax, 0\n"
+                          "cmove ecx, ebx")
+        assert state.regs[Reg.ECX] == 1
+
+    def test_xchg(self):
+        state = run_flags("mov eax, 1\nmov ebx, 2\nxchg eax, ebx")
+        assert state.regs[Reg.EAX] == 2 and state.regs[Reg.EBX] == 1
+
+    def test_16bit_mov_preserves_upper(self):
+        state = run_flags("mov eax, 0x11112222\nmov ax, 0x3333")
+        assert state.regs[Reg.EAX] == 0x11113333
+
+    def test_16bit_add_flags(self):
+        state = run_flags("mov eax, 0xFFFF\nmov bx, 1\nadd ax, bx")
+        assert state.cf and state.zf
+        assert state.regs[Reg.EAX] == 0x00000000 | 0x0000
+
+
+class TestStackAndCalls:
+    def test_push_pop(self):
+        state = run_flags("mov eax, 42\npush eax\nmov eax, 0\npop ebx")
+        assert state.regs[Reg.EBX] == 42
+
+    def test_push_moves_esp_down(self):
+        before = make_state().regs[Reg.ESP]
+        state = run_flags("push 1\npush 2")
+        assert state.regs[Reg.ESP] == before - 8
+
+    def test_call_ret(self):
+        state = run_source("""
+        start:
+            mov eax, 1
+            call fn
+            add eax, 100
+            hlt
+        fn:
+            add eax, 10
+            ret
+        """)
+        assert state.regs[Reg.EAX] == 111
+
+    def test_ret_imm_pops_args(self):
+        state = run_source("""
+        start:
+            push 5
+            push 6
+            call fn
+            hlt
+        fn:
+            mov eax, [esp+4]
+            add eax, [esp+8]
+            ret 8
+        """)
+        assert state.regs[Reg.EAX] == 11
+        assert state.regs[Reg.ESP] == make_state().regs[Reg.ESP]
+
+    def test_indirect_call(self):
+        state = run_source("""
+        start:
+            mov ebx, fn
+            call ebx
+            hlt
+        fn:
+            mov eax, 99
+            ret
+        """)
+        assert state.regs[Reg.EAX] == 99
+
+
+class TestStringOps:
+    def test_movsd(self):
+        state = run_flags(
+            "mov esi, 0x500000\nmov edi, 0x600000\n"
+            "mov dword [esi], 0xCAFE\nmovsd\nmov eax, [0x600000]")
+        assert state.regs[Reg.EAX] == 0xCAFE
+        assert state.regs[Reg.ESI] == 0x500004
+        assert state.regs[Reg.EDI] == 0x600004
+
+    def test_rep_movsd(self):
+        state = run_source("""
+        start:
+            mov esi, src
+            mov edi, 0x600000
+            mov ecx, 3
+            rep movsd
+            hlt
+        src: .dd 0x11, 0x22, 0x33
+        """)
+        for offset, value in ((0, 0x11), (4, 0x22), (8, 0x33)):
+            assert state.memory.read_u32(0x600000 + offset) == value
+        assert state.regs[Reg.ECX] == 0
+
+    def test_rep_stosd(self):
+        state = run_flags("mov eax, 0xAB\nmov edi, 0x600000\nmov ecx, 4\n"
+                          "rep stosd\nmov ebx, [0x60000C]")
+        assert state.regs[Reg.EBX] == 0xAB
+
+    def test_lodsd(self):
+        state = run_flags("mov esi, 0x500000\nmov dword [esi], 77\nlodsd")
+        assert state.regs[Reg.EAX] == 77
+
+
+class TestSystem:
+    def test_exit_syscall(self):
+        state = run_source("mov eax, 0\nmov ebx, 3\nint 0x80")
+        assert state.halted and state.exit_code == 3
+
+    def test_print_int_syscall(self):
+        state = run_source("mov eax, 1\nmov ebx, -5\nint 0x80\nhlt")
+        assert state.output == [-5]
+
+    def test_print_str_syscall(self):
+        state = run_source("""
+        start:
+            mov eax, 3
+            mov ebx, msg
+            mov ecx, 5
+            int 0x80
+            hlt
+        msg: .db 'h', 'e', 'l', 'l', 'o'
+        """)
+        assert state.output == ["hello"]
+
+    def test_unknown_int_vector_raises(self):
+        with pytest.raises(ArchException, match="int-0x3"):
+            run_source("int 3\nhlt")
+
+    def test_cpuid(self):
+        state = run_flags("cpuid")
+        assert state.regs[Reg.EAX] == 1
+        assert state.regs[Reg.EBX] == 0x6C697465
+
+    def test_hlt_halts(self):
+        state = run_source("hlt")
+        assert state.halted and state.exit_code is None
+
+
+class TestRawExecute:
+    """Direct execute() calls (no assembler) for edge cases."""
+
+    def test_default_eip_advance(self, fresh_state):
+        instr = decode(b"\x90", addr=0x400000)
+        fresh_state.eip = 0x400000
+        execute(instr, fresh_state)
+        assert fresh_state.eip == 0x400001
+
+    def test_write_to_immediate_rejected(self, fresh_state):
+        bad = Instruction(Op.MOV, (ImmOperand(1), RegOperand(Reg.EAX)))
+        with pytest.raises(ArchException):
+            execute(bad, fresh_state)
