@@ -2,13 +2,34 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test lint verify bench examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static analysis: ruff + mypy when available, else the zero-dependency
+# fallback (tools/minilint.py) so the target always means something.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests tools; \
+	else \
+		echo "ruff not installed; using tools/minilint.py"; \
+		$(PYTHON) tools/minilint.py src tests tools; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi
+
+# Lint + the tier-1 suite with the translation verifier forced on
+# (the autouse sanitizer fixture arms the full rule-pack at every
+# TranslationDirectory.install; see docs/verifier.md).
+verify: lint
+	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -11,11 +11,16 @@ Commands:
 * ``breakeven [--instrs N]`` — the full Fig. 9 per-application table.
 * ``profile [--instrs N]`` — the Fig. 3 execution-frequency profile.
 * ``configs`` — list the machine configurations (Table 2).
+* ``verify [--workload NAME|all] [--program FILE] [--json]`` — run a
+  workload with the translation verifier armed and report every
+  invariant violation with micro-op-level diagnostics (see
+  :mod:`repro.verify` and ``docs/verifier.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -123,6 +128,57 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import VerifierReport, sanitizer, verify_directory
+    from repro.workloads.programs import PROGRAMS
+
+    programs = {}
+    if args.program:
+        try:
+            with open(args.program) as handle:
+                programs[args.program] = handle.read()
+        except OSError as error:
+            raise SystemExit(f"cannot read program: {error}")
+    else:
+        if args.workload == "all":
+            programs.update(PROGRAMS)
+        elif args.workload in PROGRAMS:
+            programs[args.workload] = PROGRAMS[args.workload]
+        else:
+            raise SystemExit(f"unknown workload {args.workload!r}; "
+                             f"choose from {sorted(PROGRAMS)} or 'all'")
+
+    config = _config_by_name(args.config)
+    total = VerifierReport()
+    per_workload = {}
+    for name, source in programs.items():
+        vm = CoDesignedVM(config, hot_threshold=args.hot_threshold)
+        vm.load(assemble(source))
+        with sanitizer.collecting() as collected:
+            vm.run(max_instructions=args.max_instructions)
+            # final sweep over the steady-state caches: catches chaining
+            # and redirection states that install-time checks predate
+            if vm.runtime is not None:
+                collected.merge(verify_directory(vm.runtime.directory))
+        total.merge(collected)
+        per_workload[name] = collected
+
+    if args.json:
+        payload = total.to_dict()
+        payload["workloads"] = {name: report.to_dict()
+                                for name, report in per_workload.items()}
+        print(json.dumps(payload, indent=2))
+    else:
+        for name, report in per_workload.items():
+            status = "ok" if report.ok else \
+                f"{len(report.violations)} violation(s)"
+            print(f"{name}: {report.translations_checked} translation(s) "
+                  f"verified, {status}")
+        print()
+        print(total.format())
+    return 0 if total.ok else 1
+
+
 def cmd_configs(_args: argparse.Namespace) -> int:
     rows = []
     for name, config in ALL_CONFIGS().items():
@@ -173,6 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     configs = sub.add_parser("configs", help="list configurations")
     configs.set_defaults(func=cmd_configs)
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify emitted translations for a workload")
+    verify.add_argument("--workload", default="all",
+                        help="seed program name, or 'all'")
+    verify.add_argument("--program", default=None,
+                        help="verify an assembly source file instead")
+    verify.add_argument("--config", default="soft")
+    verify.add_argument("--hot-threshold", type=int, default=20,
+                        help="low threshold so SBT superblocks are "
+                             "exercised too (default 20)")
+    verify.add_argument("--max-instructions", type=int,
+                        default=10_000_000)
+    verify.add_argument("--json", action="store_true",
+                        help="machine-readable violation report")
+    verify.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -112,6 +112,10 @@ class MachineConfig:
     max_superblock_instrs: int = 200
     enable_fusion: bool = True
     enable_chaining: bool = True
+    #: debug mode: statically verify every translation at install time
+    #: (see :mod:`repro.verify`); raises TranslationVerifyError on the
+    #: first invariant violation
+    verify_translations: bool = False
     #: steady-state IPC advantage of fused macro-op execution over the
     #: reference superscalar (Section 2: +8% on Winstone, +18% SPECint;
     #: per-application values live in the workload models)

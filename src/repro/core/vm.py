@@ -101,7 +101,8 @@ class CoDesignedVM:
             superblock_bias=config.superblock_bias,
             max_superblock_instrs=config.max_superblock_instrs,
             enable_fusion=config.enable_fusion,
-            enable_chaining=config.enable_chaining)
+            enable_chaining=config.enable_chaining,
+            verify_translations=config.verify_translations)
         if config.mode == "be":
             # route the BBT's decode/crack step through the XLTx86 unit
             self.xlt_unit = XLTx86Unit()

@@ -25,7 +25,7 @@ sampler's auxiliary channel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.core.config import MachineConfig
 from repro.timing.caches import ColdFootprintModel

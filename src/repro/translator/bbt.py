@@ -41,6 +41,7 @@ from repro.translator.emit import (
 )
 from repro.isa.fusible.opcodes import UOp
 from repro.isa.x86lite.instruction import Instruction
+from repro.verify.sanitizer import check_stream
 from repro.isa.x86lite.opcodes import Op
 from repro.isa.x86lite.registers import Cond
 
@@ -65,12 +66,15 @@ class BasicBlockTranslator:
                  embed_profiling: bool = True,
                  hot_threshold: int = 8000,
                  max_block_instrs: int = 64,
-                 xlt_unit=None) -> None:
+                 xlt_unit=None,
+                 verify: bool = False) -> None:
         self.directory = directory
         self.memory = memory
         self.embed_profiling = embed_profiling
         self.hot_threshold = hot_threshold
         self.max_block_instrs = max_block_instrs
+        #: debug mode: statically verify each stream before install
+        self.verify = verify
         #: optional XLTx86 backend unit (VM.be): the translator's
         #: decode/crack step runs through the hardware model instead of
         #: the software path, falling back to software for punted cases.
@@ -138,6 +142,8 @@ class BasicBlockTranslator:
                 x86_addr = entry
             translation.side_table[native_addr + offset] = x86_addr
 
+        if self.verify:
+            check_stream(uops, force=True)
         self.directory.install(data, translation)
         self.blocks_translated += 1
         self.instrs_translated += len(instrs)

@@ -24,6 +24,7 @@ from repro.isa.fusible.microop import MicroOp
 from repro.isa.fusible.opcodes import UOp
 from repro.isa.fusible.registers import R_EXIT_TARGET
 from repro.memory.address_space import AddressSpace
+from repro.verify.sanitizer import check_install
 
 #: Default placement of the two code caches.  They are adjacent so that a
 #: chained JMP (signed 24-bit byte offset, +/-8 MiB) can always reach
@@ -147,8 +148,11 @@ class TranslationDirectory:
                  bbt_base: int = BBT_CACHE_BASE,
                  bbt_capacity: int = BBT_CACHE_CAPACITY,
                  sbt_base: int = SBT_CACHE_BASE,
-                 sbt_capacity: int = SBT_CACHE_CAPACITY) -> None:
+                 sbt_capacity: int = SBT_CACHE_CAPACITY,
+                 verify_on_install: bool = False) -> None:
         self.memory = memory
+        #: debug hook: verify every translation as it is installed
+        self.verify_on_install = verify_on_install
         self.bbt_cache = CodeCache(memory, bbt_base, bbt_capacity, "bbt")
         self.sbt_cache = CodeCache(memory, sbt_base, sbt_capacity, "sbt")
         self._bbt_lookup: Dict[int, Translation] = {}
@@ -194,6 +198,10 @@ class TranslationDirectory:
         """Map a VMCALL's native address to its architected address."""
         return self._side_by_addr.get(native_addr)
 
+    def is_redirected(self, native_addr: int) -> bool:
+        """Whether a BBT entry was patched to jump to its SBT copy."""
+        return native_addr in self._redirects
+
     # -- installation -------------------------------------------------------
 
     def cache_for(self, kind: str) -> CodeCache:
@@ -225,6 +233,7 @@ class TranslationDirectory:
                                   encode_uop(MicroOp(UOp.JMP, imm=offset)))
                 self._redirects[bbt_copy.native_addr] = (bbt_copy, saved)
                 self.redirects_made += 1
+        check_install(self, translation)
 
     # -- chaining ---------------------------------------------------------------
 

@@ -20,7 +20,7 @@ hatch that keeps the hardware assists simple (Section 4 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.isa.fusible.encoding import imm13_in_range
 from repro.isa.fusible.microop import MicroOp

@@ -168,10 +168,14 @@ def fuse_microops(uops: List[MicroOp], window: int = DEFAULT_WINDOW
         if region:
             stats.regions += 1
             fused = _fuse_region(region, window, stats)
-            # compare-branch fusion with the boundary BC
+            # compare-branch fusion with the boundary BC; the flag
+            # producer must not already be the tail of an earlier pair
+            # (a micro-op belongs to at most one macro-op)
             if boundary is not None and boundary.op is UOp.BC and fused:
                 last = fused[-1]
-                if not last.fused and last.writes_flags \
+                last_is_tail = len(fused) >= 2 and fused[-2].fused
+                if not last.fused and not last_is_tail \
+                        and last.writes_flags \
                         and _can_pair(last, boundary):
                     fused[-1] = last.with_fused(True)
                     stats.pairs += 1

@@ -48,6 +48,7 @@ from repro.translator.superblock import (
 )
 from repro.isa.x86lite.opcodes import Op
 from repro.isa.x86lite.registers import Cond
+from repro.verify.sanitizer import check_stream
 
 #: Paper-measured SBT translation overheads (Section 3.2).
 DELTA_SBT_X86_INSTRUCTIONS = 1152
@@ -71,7 +72,8 @@ class SuperblockTranslator:
                  bias: float = DEFAULT_BIAS,
                  enable_fusion: bool = True,
                  enable_dead_flag_elim: bool = True,
-                 enable_load_elim: bool = True) -> None:
+                 enable_load_elim: bool = True,
+                 verify: bool = False) -> None:
         self.directory = directory
         self.memory = memory
         self.max_instrs = max_instrs
@@ -79,6 +81,8 @@ class SuperblockTranslator:
         self.enable_fusion = enable_fusion
         self.enable_dead_flag_elim = enable_dead_flag_elim
         self.enable_load_elim = enable_load_elim
+        #: debug mode: statically verify each stream before install
+        self.verify = verify
         # statistics
         self.superblocks_translated = 0
         self.instrs_translated = 0
@@ -133,6 +137,8 @@ class SuperblockTranslator:
                     else superblock.head
             offset += uop.length
 
+        if self.verify:
+            check_stream(uops, force=True)
         self.directory.install(encode_stream(uops), translation)
         self.superblocks_translated += 1
         self.instrs_translated += superblock.instr_count

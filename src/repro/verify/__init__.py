@@ -1,0 +1,46 @@
+"""Translation verifier — static analysis over emitted fusible code.
+
+An independent re-derivation of the invariants the translators are
+supposed to maintain (macro-op fusion legality, exit-stub shape and the
+R29 continuation discipline, scratch-register hygiene, encoding
+round-trip, code-cache/chaining consistency).  The verifier never
+consults the emitters; it re-checks their output from first principles
+so that a bug in :mod:`repro.translator` cannot hide itself.
+
+Three entry points:
+
+* :func:`verify_uops` — stream-level rules over a bare micro-op list.
+* :func:`verify_translation` — the full rule-pack over one installed
+  translation (memory image, stubs, chaining, side tables).
+* :func:`verify_directory` — every live translation in a
+  :class:`~repro.translator.code_cache.TranslationDirectory`.
+
+The sanitizer (:mod:`repro.verify.sanitizer`) hooks these into
+``TranslationDirectory.install`` so every translation made during the
+test suite or a debug run is checked the moment it is created.
+"""
+
+from repro.verify.cfg import CFG, Located, build_cfg, locate
+from repro.verify.report import Violation, VerifierReport
+from repro.verify.rules import RULES, rule_ids
+from repro.verify.sanitizer import TranslationVerifyError
+from repro.verify.verifier import (
+    verify_directory,
+    verify_translation,
+    verify_uops,
+)
+
+__all__ = [
+    "CFG",
+    "Located",
+    "RULES",
+    "TranslationVerifyError",
+    "VerifierReport",
+    "Violation",
+    "build_cfg",
+    "locate",
+    "rule_ids",
+    "verify_directory",
+    "verify_translation",
+    "verify_uops",
+]

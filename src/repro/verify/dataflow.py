@@ -1,0 +1,324 @@
+"""A small dataflow engine over verifier CFGs.
+
+Provides an independent dependence model (the rules must not trust
+:func:`repro.translator.fusion._conflict`) and three analyses used by the
+rule-pack and the tests:
+
+* :func:`definitely_defined` — forward, intersection meet: the registers
+  guaranteed written on *every* path before each micro-op (scratch
+  hygiene, SCR001).
+* :func:`flag_provenance` — forward: whether the architected flags are
+  intact at each point, and which scratch register holds a saved copy
+  (precise-exception discipline, PRS001).
+* :func:`live_registers` — backward liveness over registers and the flags
+  resource; :func:`reaching_definitions` — forward may-reach def sites.
+  These round out the engine (def-use chains come straight out of the
+  reaching sets) and anchor the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import FLAG_READING_UOPS, UOp
+from repro.isa.fusible.registers import (
+    ARCH_REG_COUNT,
+    NREGS,
+    R_ZERO,
+)
+from repro.verify.cfg import CFG, Located
+
+#: Pseudo-register index standing for the architected flags resource.
+FLAGS = -1
+
+#: Registers architecturally defined at translation entry: the mapped
+#: x86 GPRs plus the hardwired zero.  Every other register is VMM state
+#: that carries nothing between translations.
+ENTRY_DEFINED: FrozenSet[int] = frozenset(range(ARCH_REG_COUNT)) | {R_ZERO}
+
+#: Registers the VMM owns (must never carry live architected state).
+VMM_REGS: FrozenSet[int] = frozenset(range(ARCH_REG_COUNT, NREGS)) - {R_ZERO}
+
+ALL_REGS: FrozenSet[int] = frozenset(range(NREGS))
+
+
+def regs_read(uop: MicroOp) -> FrozenSet[int]:
+    return frozenset(uop.sources())
+
+
+def regs_written(uop: MicroOp) -> FrozenSet[int]:
+    dest = uop.dest()
+    return frozenset() if dest is None else frozenset({dest})
+
+
+def reads_flags(uop: MicroOp) -> bool:
+    return uop.op in FLAG_READING_UOPS
+
+
+def conflicts(first: MicroOp, second: MicroOp) -> bool:
+    """True when ``second`` must not be reordered above ``first``.
+
+    Re-derived dependence test: register RAW/WAR/WAW, the flags treated
+    as one resource, and stores fencing every other memory access.
+    """
+    first_writes = regs_written(first)
+    second_writes = regs_written(second)
+    if first_writes & regs_read(second):
+        return True  # RAW
+    if second_writes & regs_read(first):
+        return True  # WAR
+    if first_writes & second_writes:
+        return True  # WAW
+    if first.writes_flags and (second.writes_flags or reads_flags(second)):
+        return True
+    if reads_flags(first) and second.writes_flags:
+        return True
+    if first.is_store and (second.is_store or second.is_load):
+        return True
+    if first.is_load and second.is_store:
+        return True
+    return False
+
+
+# -- generic engine -----------------------------------------------------------
+
+
+class ForwardAnalysis:
+    """Worklist solver; subclasses define lattice and transfer.
+
+    States must be hashable-equality values (frozensets, tuples).  A
+    ``None`` per-uop state means the micro-op is unreachable from entry.
+    """
+
+    def entry_state(self):
+        raise NotImplementedError
+
+    def meet(self, left, right):
+        raise NotImplementedError
+
+    def transfer(self, state, loc: Located):
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> List[Optional[object]]:
+        """Solve to fixpoint; returns the state *before* each micro-op."""
+        nblocks = len(cfg.blocks)
+        block_in: List[Optional[object]] = [None] * nblocks
+        if not nblocks:
+            return []
+        block_in[0] = self.entry_state()
+        worklist = [0]
+        while worklist:
+            bid = worklist.pop()
+            state = block_in[bid]
+            for loc in cfg.blocks[bid].locs:
+                state = self.transfer(state, loc)
+            for succ in cfg.blocks[bid].succs:
+                merged = state if block_in[succ] is None \
+                    else self.meet(block_in[succ], state)
+                if merged != block_in[succ]:
+                    block_in[succ] = merged
+                    worklist.append(succ)
+        before: List[Optional[object]] = [None] * len(cfg.locs)
+        for block in cfg.blocks:
+            state = block_in[block.bid]
+            if state is None:
+                continue
+            for loc in block.locs:
+                before[loc.index] = state
+                state = self.transfer(state, loc)
+        return before
+
+
+class BackwardAnalysis:
+    """Backward counterpart; returns the state *after* each micro-op."""
+
+    def exit_state(self):
+        raise NotImplementedError
+
+    def meet(self, left, right):
+        raise NotImplementedError
+
+    def transfer(self, state, loc: Located):
+        raise NotImplementedError
+
+    def run(self, cfg: CFG) -> List[Optional[object]]:
+        nblocks = len(cfg.blocks)
+        if not nblocks:
+            return []
+        preds: List[List[int]] = [[] for _ in range(nblocks)]
+        for block in cfg.blocks:
+            for succ in block.succs:
+                preds[succ].append(block.bid)
+        block_out: List[Optional[object]] = [None] * nblocks
+        worklist = []
+        for block in cfg.blocks:
+            if not block.succs:
+                block_out[block.bid] = self.exit_state()
+                worklist.append(block.bid)
+        while worklist:
+            bid = worklist.pop()
+            state = block_out[bid]
+            for loc in reversed(cfg.blocks[bid].locs):
+                state = self.transfer(state, loc)
+            for pred in preds[bid]:
+                merged = state if block_out[pred] is None \
+                    else self.meet(block_out[pred], state)
+                if merged != block_out[pred]:
+                    block_out[pred] = merged
+                    worklist.append(pred)
+        after: List[Optional[object]] = [None] * len(cfg.locs)
+        for block in cfg.blocks:
+            state = block_out[block.bid]
+            if state is None:
+                continue
+            for loc in reversed(block.locs):
+                after[loc.index] = state
+                state = self.transfer(state, loc)
+        return after
+
+
+# -- concrete analyses ---------------------------------------------------------
+
+
+class _DefinitelyDefined(ForwardAnalysis):
+    def __init__(self, entry_defined: FrozenSet[int]) -> None:
+        self._entry = entry_defined
+
+    def entry_state(self):
+        return self._entry
+
+    def meet(self, left, right):
+        return left & right
+
+    def transfer(self, state, loc: Located):
+        written = regs_written(loc.uop)
+        return state | written if written else state
+
+
+def definitely_defined(cfg: CFG,
+                       entry_defined: FrozenSet[int] = ENTRY_DEFINED
+                       ) -> List[Optional[FrozenSet[int]]]:
+    """Registers written on every path before each micro-op."""
+    return _DefinitelyDefined(entry_defined).run(cfg)
+
+
+#: Flag-provenance lattice value: (architected_flags_intact, saved_copy).
+FlagState = Tuple[bool, Optional[int]]
+
+
+class _FlagProvenance(ForwardAnalysis):
+    """Tracks a RDFLG ... WRFLG *save window*.
+
+    Cracked bodies legitimately compute architected flag results into VMM
+    temporaries (a memory-destination ALU op lands in T1), so the
+    destination register cannot distinguish housekeeping from architected
+    flag writes.  What can: the emitters save the flags (RDFLG) exactly
+    when they are about to clobber them.  Inside an open save window every
+    flag write is housekeeping; the window closes with a WRFLG from the
+    saved copy, which restores architected provenance.
+    """
+
+    def entry_state(self) -> FlagState:
+        return (True, None)
+
+    def meet(self, left: FlagState, right: FlagState) -> FlagState:
+        arch = left[0] and right[0]
+        saved = left[1] if left[1] == right[1] else None
+        return (arch, saved)
+
+    def transfer(self, state: FlagState, loc: Located) -> FlagState:
+        arch, saved = state
+        uop = loc.uop
+        if uop.op is UOp.RDFLG:
+            if arch:
+                return (True, uop.rd)  # opens a save window
+            # snapshot of already-clobbered flags: useless as a save
+            return (False, None if saved == uop.rd else saved)
+        if uop.op is UOp.WRFLG:
+            # closes the window; restores only from the valid saved copy
+            return (saved is not None and uop.rs1 == saved, None)
+        in_window = saved is not None
+        dest = uop.dest()
+        if dest is not None and dest == saved:
+            saved = None  # the saved copy was overwritten
+        if uop.writes_flags:
+            arch = not in_window
+        return (arch, saved)
+
+
+def flag_provenance(cfg: CFG) -> List[Optional[FlagState]]:
+    """Whether the architected flags are intact before each micro-op."""
+    return _FlagProvenance().run(cfg)
+
+
+class _LiveRegisters(BackwardAnalysis):
+    def exit_state(self):
+        # precise architected state must survive every exit
+        return frozenset(range(ARCH_REG_COUNT)) | {FLAGS}
+
+    def meet(self, left, right):
+        return left | right
+
+    def transfer(self, state, loc: Located):
+        uop = loc.uop
+        state = state - regs_written(uop)
+        if uop.writes_flags:
+            state = state - {FLAGS}
+        state = state | regs_read(uop)
+        if reads_flags(uop):
+            state = state | {FLAGS}
+        return state
+
+
+def live_registers(cfg: CFG) -> List[Optional[FrozenSet[int]]]:
+    """Registers (plus FLAGS) live *after* each micro-op."""
+    return _LiveRegisters().run(cfg)
+
+
+class _ReachingDefinitions(ForwardAnalysis):
+    """State: frozenset of (resource, defining uop index); resource is a
+    register number or FLAGS.  Index -1 marks an entry definition."""
+
+    def entry_state(self):
+        return frozenset((reg, -1) for reg in ALL_REGS) | {(FLAGS, -1)}
+
+    def meet(self, left, right):
+        return left | right
+
+    def transfer(self, state, loc: Located):
+        killed = regs_written(loc.uop)
+        if loc.uop.writes_flags:
+            killed = killed | {FLAGS}
+        if not killed:
+            return state
+        state = frozenset(pair for pair in state if pair[0] not in killed)
+        return state | frozenset((res, loc.index) for res in killed)
+
+
+def reaching_definitions(cfg: CFG):
+    """May-reach definition sites before each micro-op."""
+    return _ReachingDefinitions().run(cfg)
+
+
+def def_use_chains(cfg: CFG) -> Dict[int, List[int]]:
+    """def index -> sorted uop indices that may consume that definition."""
+    before = reaching_definitions(cfg)
+    chains: Dict[int, set] = {}
+    for loc in cfg.locs:
+        state = before[loc.index]
+        if state is None:
+            continue
+        used = regs_read(loc.uop)
+        flag_use = reads_flags(loc.uop)
+        for resource, def_index in state:
+            if def_index < 0:
+                continue
+            if resource in used or (resource == FLAGS and flag_use):
+                chains.setdefault(def_index, set()).add(loc.index)
+    return {key: sorted(value) for key, value in sorted(chains.items())}
+
+
+def region_uops(locs: Sequence[Located], start: int, end: int
+                ) -> List[Located]:
+    return list(locs[start:end])

@@ -1,0 +1,89 @@
+"""Driving the rule-pack over streams, translations, and directories."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.isa.fusible.encoding import UopDecodeError, decode_stream
+from repro.verify.report import VerifierReport, Violation
+from repro.verify.rules import RULES, VerifyContext
+
+#: Disassembly lines shown around each violation.
+CONTEXT_RADIUS = 2
+
+
+def _context_lines(ctx: VerifyContext, index: int) -> tuple:
+    low = max(0, index - CONTEXT_RADIUS)
+    high = min(len(ctx.uops), index + CONTEXT_RADIUS + 1)
+    lines = []
+    for position in range(low, high):
+        marker = "->" if position == index else "  "
+        lines.append(f"{marker} {position:4d}: {ctx.uops[position]}")
+    return tuple(lines)
+
+
+def _run_rules(ctx: VerifyContext) -> VerifierReport:
+    available = ctx.available()
+    entry = kind = None
+    if ctx.translation is not None:
+        entry = ctx.translation.entry
+        kind = ctx.translation.kind
+    violations: List[Violation] = []
+    rules_run = []
+    for spec in RULES:
+        if not spec.requires <= available:
+            continue
+        rules_run.append(spec.rule_id)
+        for violation in spec.check(ctx):
+            if violation.entry is None and entry is not None:
+                violation = replace(violation, entry=entry, kind=kind)
+            if violation.index is not None and not violation.context:
+                violation = replace(
+                    violation,
+                    context=_context_lines(ctx, violation.index))
+            violations.append(violation)
+    return VerifierReport(violations=violations,
+                          uops_checked=len(ctx.uops),
+                          rules_run=tuple(rules_run))
+
+
+def verify_uops(uops, translation=None, memory=None,
+                directory=None) -> VerifierReport:
+    """Run every applicable rule over a micro-op stream."""
+    ctx = VerifyContext(uops, translation=translation, memory=memory,
+                        directory=directory)
+    return _run_rules(ctx)
+
+
+def verify_translation(translation, memory=None,
+                       directory=None) -> VerifierReport:
+    """Run the full rule-pack over one installed translation."""
+    uops = translation.uops
+    if not uops and memory is not None and translation.native_len:
+        try:
+            uops = decode_stream(memory.read(translation.native_addr,
+                                             translation.native_len))
+        except UopDecodeError as error:
+            report = VerifierReport(translations_checked=1)
+            report.violations.append(Violation(
+                rule_id="CCH001",
+                message=f"translation bytes do not decode: {error}",
+                entry=translation.entry, kind=translation.kind))
+            return report
+    report = verify_uops(uops, translation=translation, memory=memory,
+                         directory=directory)
+    report.translations_checked = 1
+    return report
+
+
+def verify_directory(directory,
+                     memory: Optional[object] = None) -> VerifierReport:
+    """Verify every live translation in a directory."""
+    memory = memory if memory is not None else directory.memory
+    report = VerifierReport()
+    for cache in (directory.bbt_cache, directory.sbt_cache):
+        for translation in cache.translations:
+            report.merge(verify_translation(translation, memory=memory,
+                                            directory=directory))
+    return report

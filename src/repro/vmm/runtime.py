@@ -69,7 +69,8 @@ class VMRuntime:
                  max_superblock_instrs: int = 200,
                  enable_fusion: bool = True,
                  enable_chaining: bool = True,
-                 max_block_instrs: int = 64) -> None:
+                 max_block_instrs: int = 64,
+                 verify_translations: bool = False) -> None:
         if initial_emulation not in ("bbt", "interp", "x86-mode"):
             raise ValueError(f"bad initial emulation {initial_emulation!r}")
         self.state = state
@@ -81,16 +82,21 @@ class VMRuntime:
         self.machine = FusibleMachine(self.memory)
         self.directory = directory if directory is not None \
             else TranslationDirectory(self.memory)
+        if verify_translations:
+            # debug hook: statically verify translations as installed
+            self.directory.verify_on_install = True
         self.profiler = profiler if profiler is not None \
             else SoftwareProfiler(hot_threshold)
         self.bbt = BasicBlockTranslator(
             self.directory, self.memory,
             embed_profiling=(initial_emulation == "bbt"),
             hot_threshold=hot_threshold,
-            max_block_instrs=max_block_instrs)
+            max_block_instrs=max_block_instrs,
+            verify=verify_translations)
         self.sbt = SuperblockTranslator(
             self.directory, self.memory, bias=superblock_bias,
-            max_instrs=max_superblock_instrs, enable_fusion=enable_fusion)
+            max_instrs=max_superblock_instrs, enable_fusion=enable_fusion,
+            verify=verify_translations)
         self.interp = Interpreter(state)
 
         # statistics

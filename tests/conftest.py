@@ -2,12 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.interp import Interpreter
 from repro.isa.x86lite import X86State, assemble
 from repro.memory import AddressSpace, load_image
 from repro.memory.loader import DEFAULT_STACK_TOP
+from repro.verify import sanitizer
+
+
+@pytest.fixture(autouse=True)
+def translation_sanitizer():
+    """Arm the translation verifier for every test, sanitizer-style.
+
+    Every ``TranslationDirectory.install`` anywhere in the suite runs the
+    full rule-pack (:mod:`repro.verify`) and raises on the first invariant
+    violation, so each end-to-end test doubles as a translator-correctness
+    test.  Set ``REPRO_VERIFY=0`` to switch it off (e.g. when bisecting a
+    functional failure separately from a verifier finding).
+    """
+    if os.environ.get("REPRO_VERIFY", "1") == "0":
+        yield
+        return
+    with sanitizer.raising():
+        yield
 
 
 def make_state(image=None) -> X86State:

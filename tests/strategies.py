@@ -141,3 +141,39 @@ def misc_instructions(draw) -> Instruction:
 #: Any encodable non-control-transfer instruction.
 instructions = st.one_of(alu_instructions(), mov_instructions(),
                          misc_instructions())
+
+
+@st.composite
+def basic_blocks(draw, min_size: int = 1, max_size: int = 10) -> list:
+    """A straight-line dynamic basic block (no control transfers)."""
+    return draw(st.lists(instructions, min_size=min_size,
+                         max_size=max_size))
+
+
+_LOOP_REGS = ["eax", "ebx", "edx", "esi", "edi"]
+_LOOP_OPS = ["add", "sub", "and", "or", "xor"]
+
+
+@st.composite
+def loop_programs(draw, min_iterations: int = 5,
+                  max_iterations: int = 12) -> str:
+    """Source with a hot counted loop: drives BBT, profiling and SBT."""
+    lines = ["start:"]
+    for reg in _LOOP_REGS:
+        lines.append(f"    mov {reg}, {draw(st.integers(0, 0xFFFF))}")
+    lines.append(f"    mov ecx, "
+                 f"{draw(st.integers(min_iterations, max_iterations))}")
+    lines.append("loop_top:")
+    for _ in range(draw(st.integers(1, 6))):
+        reg = draw(st.sampled_from(_LOOP_REGS))
+        op = draw(st.sampled_from(_LOOP_OPS))
+        if draw(st.booleans()):
+            lines.append(f"    {op} {reg}, "
+                         f"{draw(st.sampled_from(_LOOP_REGS))}")
+        else:
+            lines.append(f"    {op} {reg}, "
+                         f"{draw(st.integers(-500, 500))}")
+    lines += ["    dec ecx", "    jnz loop_top",
+              "    mov eax, 1", "    mov ebx, esi", "    int 0x80",
+              "    mov eax, 0", "    mov ebx, 0", "    int 0x80"]
+    return "\n".join(lines)

@@ -1,5 +1,7 @@
 """CLI tests (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -78,3 +80,32 @@ class TestAnalysisCommands:
     def test_missing_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestVerifyCommand:
+    def test_single_workload_verifies_clean(self, capsys):
+        code = main(["verify", "--workload", "fibonacci"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fibonacci" in out
+        assert "0 violation(s)" in out
+
+    def test_program_file_verifies_clean(self, program_file, capsys):
+        code = main(["verify", "--program", program_file,
+                     "--hot-threshold", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 violation(s)" in out
+
+    def test_json_report_shape(self, capsys):
+        code = main(["verify", "--workload", "sieve", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        assert payload["translations_checked"] > 0
+        assert "sieve" in payload["workloads"]
+        assert payload["rules_run"]  # the rule-pack actually ran
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--workload", "bogus"])

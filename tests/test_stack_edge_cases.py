@@ -6,12 +6,9 @@ in a translator; these tests pin them down in the reference semantics and
 differentially through the cracked/translated paths.
 """
 
-import pytest
-
 from repro.core import CoDesignedVM, ref_superscalar, vm_be, vm_fe, \
     vm_soft
 from repro.isa.x86lite import Reg, assemble
-from tests.conftest import run_source
 
 CONFIGS = [ref_superscalar, vm_soft, vm_be, vm_fe]
 

@@ -1,8 +1,6 @@
 """Startup simulator tests: conservation, config semantics, scenarios,
 and reproduction of the paper's headline startup relationships."""
 
-import math
-
 import pytest
 
 from repro.core import (

@@ -1,0 +1,427 @@
+"""Intentional-violation corpus for the translation verifier.
+
+Every rule in the pack has at least one hand-constructed illegal
+sequence here that must be flagged with exactly that rule ID — no rule
+is allowed to be vacuous.  Clean counterparts pin the absence of false
+positives, and the dataflow engine gets direct unit coverage.
+"""
+
+import pytest
+
+from repro.isa.fusible.encoding import encode_stream, encode_uop, \
+    stream_length
+from repro.isa.fusible.microop import MicroOp
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.fusible.registers import R_EXIT_TARGET
+from repro.isa.x86lite.registers import Cond
+from repro.memory import AddressSpace
+from repro.translator.code_cache import (
+    ExitStub,
+    Translation,
+    TranslationDirectory,
+)
+from repro.translator.fusion import fuse_microops
+from repro.verify import (
+    build_cfg,
+    rule_ids,
+    verify_translation,
+    verify_uops,
+)
+from repro.verify.dataflow import (
+    FLAGS,
+    def_use_chains,
+    definitely_defined,
+    flag_provenance,
+    live_registers,
+    reaching_definitions,
+)
+
+NOP = MicroOp(UOp.NOP)
+
+
+def ids(report):
+    return {violation.rule_id for violation in report.violations}
+
+
+def exit_stub(target, addr=None):
+    """A canonical direct exit stub, written out longhand."""
+    return [
+        MicroOp(UOp.LUI, rd=R_EXIT_TARGET, imm=(target >> 13) & 0x7FFFF,
+                x86_addr=addr),
+        MicroOp(UOp.ORI, rd=R_EXIT_TARGET, rs1=R_EXIT_TARGET,
+                imm=target & 0x1FFF, x86_addr=addr),
+        MicroOp(UOp.VMEXIT, rs1=R_EXIT_TARGET, x86_addr=addr),
+    ]
+
+
+def make_translation(uops, exits=(), side=(), native_addr=0x2000_0000,
+                     entry=0x40_0000, kind="bbt", memory=None):
+    """Hand-build a Translation (optionally backed by real memory)."""
+    translation = Translation(entry=entry, kind=kind,
+                              native_addr=native_addr,
+                              native_len=stream_length(uops),
+                              uop_count=len(uops), uops=list(uops))
+    for offset, stub_kind, target in exits:
+        translation.exits.append(ExitStub(
+            stub_addr=native_addr + offset, kind=stub_kind,
+            x86_target=target))
+    for offset, x86_addr in side:
+        translation.side_table[native_addr + offset] = x86_addr
+    if memory is not None:
+        memory.write(native_addr, encode_stream(uops))
+    return translation
+
+
+# -- the corpus: every rule must have a failing fixture -----------------------
+
+
+def fus001_nonalu_head():
+    return verify_uops([
+        MicroOp(UOp.MULL, rd=5, rs1=1, rs2=2, fused=True),  # multi-cycle
+        MicroOp(UOp.ADD, rd=6, rs1=5, rs2=3),
+    ])
+
+
+def fus001_flagless_compare_branch():
+    return verify_uops([
+        MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True),  # no .f bit
+        MicroOp(UOp.BC, cond=Cond.NE, imm=0),
+        NOP,
+    ])
+
+
+def fus002_overlapping_pairs():
+    # the historical close_region bug: the flag producer fused with a
+    # region-ending BC even though it was already the tail of a pair
+    return verify_uops([
+        MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True),
+        MicroOp(UOp.AND, rd=6, rs1=5, rs2=2, setflags=True, fused=True),
+        MicroOp(UOp.BC, cond=Cond.NE, imm=0),
+        NOP,
+    ])
+
+
+def fus002_dangling_head():
+    return verify_uops([MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True)])
+
+
+def fus002_tail_not_consuming():
+    return verify_uops([
+        MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True),
+        MicroOp(UOp.ADD, rd=6, rs1=2, rs2=3),  # ignores r5
+    ])
+
+
+def fus003_four_source_pair():
+    return verify_uops([
+        MicroOp(UOp.ADD, rd=5, rs1=1, rs2=2, fused=True),
+        MicroOp(UOp.ADD, rd=7, rs1=3, rs2=4),  # r1,r2,r3,r4: 4 ports
+    ])
+
+
+def fus004_barrier_head():
+    return verify_uops([
+        MicroOp(UOp.VMCALL, imm=3, fused=True),
+        NOP,
+    ])
+
+
+def fus004_pair_into_jump():
+    return verify_uops([
+        MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True),
+        MicroOp(UOp.JMP, imm=-8),  # loops to offset 0
+    ])
+
+
+def fus005_hoist_across_flag_writer():
+    # the tail (architecturally at 0x108) was hoisted above the flag
+    # writer at 0x104; both write flags, so the move was illegal
+    return verify_uops([
+        MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, x86_addr=0x100, fused=True),
+        MicroOp(UOp.ADD2, rd=6, rs1=5, setflags=True, x86_addr=0x108),
+        MicroOp(UOp.SUBI, rd=2, rs1=2, imm=1, setflags=True,
+                x86_addr=0x104),
+    ])
+
+
+def ctl001_misaligned_branch():
+    return verify_uops([
+        MicroOp(UOp.BC, cond=Cond.E, imm=3),  # lands at byte 7
+        NOP,
+    ])
+
+
+def stb001_truncated_stub():
+    target = 0x40_0100
+    uops = exit_stub(target)[:2]  # VMEXIT missing
+    translation = make_translation(
+        uops, exits=[(0, "jump", target)])
+    return verify_translation(translation)
+
+
+def stb001_wrong_target_immediates():
+    uops = exit_stub(0x40_0100)
+    translation = make_translation(
+        uops, exits=[(0, "jump", 0x40_0200)])  # stub rebuilds 0x400100
+    return verify_translation(translation)
+
+
+def stb002_vmexit_wrong_register():
+    return verify_uops([MicroOp(UOp.VMEXIT, rs1=5)])
+
+
+def scr001_scratch_use_before_def():
+    return verify_uops([MicroOp(UOp.ADD, rd=1, rs1=16, rs2=2)])
+
+
+def scr001_defined_on_one_path_only():
+    # r16 is defined only on the branch-taken path
+    return verify_uops([
+        MicroOp(UOp.BC, cond=Cond.E, imm=4),
+        MicroOp(UOp.ADDI, rd=16, rs1=31, imm=7),
+        MicroOp(UOp.ADD, rd=1, rs1=16, rs2=2),  # join: maybe undefined
+    ])
+
+
+def prs001_unbalanced_save_window():
+    # flags saved and clobbered, but never restored before the VMEXIT
+    uops = [
+        MicroOp(UOp.RDFLG, rd=18),
+        MicroOp(UOp.ADDI, rd=17, rs1=31, imm=1, setflags=True),
+    ] + exit_stub(0x40_0100)
+    return verify_uops(uops)
+
+
+def enc001_oversized_immediate():
+    return verify_uops([MicroOp(UOp.ADDI, rd=5, rs1=1, imm=999_999)])
+
+
+def enc002_short_form_drops_rd():
+    return verify_uops([MicroOp(UOp.NOP, rd=5)])
+
+
+def enc002_bc_drops_setflags():
+    return verify_uops([
+        MicroOp(UOp.BC, cond=Cond.E, imm=0, setflags=True),
+        NOP,
+    ])
+
+
+def cch001_corrupted_cache_image():
+    memory = AddressSpace()
+    uops = [MicroOp(UOp.ADDI, rd=1, rs1=1, imm=5)] + exit_stub(0x40_0100)
+    translation = make_translation(uops, exits=[(4, "jump", 0x40_0100)],
+                                   memory=memory)
+    # flip the body micro-op behind the translation's back
+    memory.write(translation.native_addr,
+                 encode_uop(MicroOp(UOp.ADDI, rd=2, rs1=2, imm=9)))
+    return verify_translation(translation, memory=memory)
+
+
+def chn001_stale_chain_target():
+    memory = AddressSpace()
+    directory = TranslationDirectory(memory)
+    target = 0x40_0100
+    uops = exit_stub(target)
+    translation = make_translation(uops, exits=[(0, "jump", target)],
+                                   memory=memory)
+    stub = translation.exits[0]
+    # chain the stub to an address where no live translation exists
+    stale = translation.native_addr + 0x100
+    memory.write(stub.stub_addr, encode_uop(
+        MicroOp(UOp.JMP, imm=stale - (stub.stub_addr + 4))))
+    stub.chained_to = stale
+    return verify_translation(translation, memory=memory,
+                              directory=directory)
+
+
+def chn002_unpatched_stub_not_vmexit():
+    memory = AddressSpace()
+    target = 0x40_0100
+    uops = exit_stub(target)
+    translation = make_translation(uops, exits=[(0, "jump", target)],
+                                   memory=memory)
+    # stomp the stub's VMEXIT in memory; the stub is not chained, so the
+    # memory image must still leave through VMEXIT
+    memory.write(translation.native_addr + 8, encode_uop(NOP))
+    return verify_translation(translation, memory=memory)
+
+
+def sid001_vmcall_without_side_table():
+    translation = make_translation([MicroOp(UOp.VMCALL, imm=0)])
+    return verify_translation(translation)
+
+
+CORPUS = [
+    ("FUS001", fus001_nonalu_head),
+    ("FUS001", fus001_flagless_compare_branch),
+    ("FUS002", fus002_overlapping_pairs),
+    ("FUS002", fus002_dangling_head),
+    ("FUS002", fus002_tail_not_consuming),
+    ("FUS003", fus003_four_source_pair),
+    ("FUS004", fus004_barrier_head),
+    ("FUS004", fus004_pair_into_jump),
+    ("FUS005", fus005_hoist_across_flag_writer),
+    ("CTL001", ctl001_misaligned_branch),
+    ("STB001", stb001_truncated_stub),
+    ("STB001", stb001_wrong_target_immediates),
+    ("STB002", stb002_vmexit_wrong_register),
+    ("SCR001", scr001_scratch_use_before_def),
+    ("SCR001", scr001_defined_on_one_path_only),
+    ("PRS001", prs001_unbalanced_save_window),
+    ("ENC001", enc001_oversized_immediate),
+    ("ENC002", enc002_short_form_drops_rd),
+    ("ENC002", enc002_bc_drops_setflags),
+    ("CCH001", cch001_corrupted_cache_image),
+    ("CHN001", chn001_stale_chain_target),
+    ("CHN002", chn002_unpatched_stub_not_vmexit),
+    ("SID001", sid001_vmcall_without_side_table),
+]
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("expected,fixture", CORPUS,
+                             ids=[f"{rule}-{fn.__name__}"
+                                  for rule, fn in CORPUS])
+    def test_flagged_with_specific_rule(self, expected, fixture):
+        report = fixture()
+        assert expected in ids(report), \
+            f"expected {expected}, got {sorted(ids(report))}:\n" \
+            f"{report.format()}"
+
+    def test_no_rule_is_vacuous(self):
+        covered = {rule for rule, _fixture in CORPUS}
+        assert covered == set(rule_ids())
+
+    def test_violations_carry_microop_diagnostics(self):
+        report = scr001_scratch_use_before_def()
+        (violation,) = report.violations
+        assert violation.index == 0
+        assert violation.offset == 0
+        assert violation.context  # surrounding disassembly present
+        assert "r16" in violation.message
+
+    def test_report_is_machine_readable(self):
+        report = fus003_four_source_pair()
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["violation_counts"].get("FUS003", 0) >= 1
+        assert all("rule" in entry for entry in payload["violations"])
+
+
+class TestCleanStreams:
+    def test_legal_fused_pair_passes(self):
+        report = verify_uops([
+            MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1, fused=True),
+            MicroOp(UOp.ADD, rd=6, rs1=5, rs2=2),
+        ])
+        assert report.ok, report.format()
+
+    def test_legal_compare_branch_pair_passes(self):
+        report = verify_uops([
+            MicroOp(UOp.SUBI, rd=31, rs1=1, imm=3, setflags=True,
+                    fused=True),
+            MicroOp(UOp.BC, cond=Cond.E, imm=0),
+            NOP,
+        ])
+        assert report.ok, report.format()
+
+    def test_canonical_stub_translation_passes(self):
+        memory = AddressSpace()
+        target = 0x40_0100
+        uops = exit_stub(target)
+        translation = make_translation(uops, exits=[(0, "jump", target)],
+                                       memory=memory)
+        report = verify_translation(translation, memory=memory)
+        assert report.ok, report.format()
+
+    def test_balanced_save_window_passes(self):
+        uops = [
+            MicroOp(UOp.RDFLG, rd=18),
+            MicroOp(UOp.ADDI, rd=17, rs1=31, imm=1, setflags=True),
+            MicroOp(UOp.WRFLG, rs1=18),
+        ] + exit_stub(0x40_0100)
+        report = verify_uops(uops)
+        assert report.ok, report.format()
+
+
+class TestFusionRegression:
+    """The verifier caught a real emitter bug: compare-branch fusion in
+    ``close_region`` could mark a pair *tail* as a second head, creating
+    overlapping pairs.  Pin the fix."""
+
+    def test_compare_branch_fusion_never_overlaps_pairs(self):
+        uops = [
+            MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1),
+            MicroOp(UOp.AND, rd=6, rs1=5, rs2=2, setflags=True),
+            MicroOp(UOp.BC, cond=Cond.NE, imm=0),
+            NOP,
+        ]
+        fused, stats = fuse_microops(uops)
+        assert stats.pairs == 1
+        report = verify_uops(fused)
+        assert report.ok, report.format()
+
+    def test_compare_branch_fusion_still_happens_when_legal(self):
+        uops = [
+            MicroOp(UOp.SUBI, rd=31, rs1=1, imm=3, setflags=True),
+            MicroOp(UOp.BC, cond=Cond.E, imm=0),
+            NOP,
+        ]
+        fused, stats = fuse_microops(uops)
+        assert stats.pairs == 1
+        assert fused[0].fused
+        assert verify_uops(fused).ok
+
+
+class TestDataflowEngine:
+    def test_definitely_defined_intersects_paths(self):
+        cfg = build_cfg([
+            MicroOp(UOp.BC, cond=Cond.E, imm=4),
+            MicroOp(UOp.ADDI, rd=16, rs1=31, imm=7),   # skipped if taken
+            MicroOp(UOp.ADDI, rd=17, rs1=31, imm=8),   # join point
+        ])
+        before = definitely_defined(cfg)
+        assert 16 not in before[1]  # not defined at the ADDI itself
+        # the join sees the taken path, where the ADDI never ran
+        assert 16 not in before[2]
+
+    def test_flag_provenance_tracks_save_window(self):
+        cfg = build_cfg([
+            MicroOp(UOp.RDFLG, rd=18),
+            MicroOp(UOp.ADDI, rd=17, rs1=31, imm=1, setflags=True),
+            MicroOp(UOp.WRFLG, rs1=18),
+            MicroOp(UOp.VMEXIT, rs1=R_EXIT_TARGET),
+        ])
+        states = flag_provenance(cfg)
+        assert states[1] == (True, 18)    # window open, flags still good
+        assert states[2] == (False, 18)   # clobbered inside the window
+        assert states[3] == (True, None)  # restored at the VMEXIT
+
+    def test_liveness_flags_and_registers(self):
+        cfg = build_cfg([
+            MicroOp(UOp.SUBI, rd=31, rs1=1, imm=3, setflags=True),
+            MicroOp(UOp.BC, cond=Cond.E, imm=0),
+            NOP,
+        ])
+        live = live_registers(cfg)
+        # the compare's flags are consumed by the BC
+        assert FLAGS in live[0]
+
+    def test_def_use_chains_connect_producer_to_consumer(self):
+        cfg = build_cfg([
+            MicroOp(UOp.ADDI, rd=5, rs1=1, imm=1),
+            MicroOp(UOp.ADD, rd=6, rs1=5, rs2=2),
+        ])
+        chains = def_use_chains(cfg)
+        assert chains.get(0) == [1]
+
+    def test_reaching_definitions_merge_at_joins(self):
+        cfg = build_cfg([
+            MicroOp(UOp.BC, cond=Cond.E, imm=4),
+            MicroOp(UOp.ADDI, rd=5, rs1=31, imm=7),
+            MicroOp(UOp.ADD, rd=6, rs1=5, rs2=5),
+        ])
+        before = reaching_definitions(cfg)
+        defs_of_r5 = {index for reg, index in before[2] if reg == 5}
+        assert defs_of_r5 == {-1, 1}  # entry def and the ADDI both reach
