@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench examples figures clean
+.PHONY: install test lint verify bench bench-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,12 +27,19 @@ lint:
 
 # Lint + the tier-1 suite with the translation verifier forced on
 # (the autouse sanitizer fixture arms the full rule-pack at every
-# TranslationDirectory.install; see docs/verifier.md).
-verify: lint
+# TranslationDirectory.install; see docs/verifier.md), plus the
+# warm-start smoke gate.
+verify: lint bench-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Fast gate for the persistent translation cache: a warm start from the
+# repository must do strictly fewer (in fact zero) BBT translations and
+# cost fewer simulated cycles than a cold start (docs/persistence.md).
+bench-smoke:
+	$(PYTHON) tools/bench_smoke.py
 
 # Run every example script end to end.
 examples:

@@ -90,8 +90,9 @@ class SuiteLab:
         return self._results[key]
 
     def suite_results(self, config_name: str,
-                      dyn_instrs: int = FULL_TRACE):
-        return [self.result(app.name, config_name, dyn_instrs)
+                      dyn_instrs: int = FULL_TRACE,
+                      scenario: Scenario = Scenario.MEMORY_STARTUP):
+        return [self.result(app.name, config_name, dyn_instrs, scenario)
                 for app in self.apps]
 
     def steady_ipcs(self) -> Dict[str, float]:

@@ -15,6 +15,12 @@ Commands:
   workload with the translation verifier armed and report every
   invariant violation with micro-op-level diagnostics (see
   :mod:`repro.verify` and ``docs/verifier.md``).
+* ``cache {save,load,stats,gc} [PROGRAM] [--cache-dir DIR]`` — the
+  persistent translation repository: ``save`` cold-runs a program and
+  snapshots its translations, ``load`` warm-starts from the repository
+  (zero BBT translations for previously seen blocks), ``stats`` and
+  ``gc`` manage the on-disk store (see :mod:`repro.persist` and
+  ``docs/persistence.md``).
 """
 
 from __future__ import annotations
@@ -179,6 +185,62 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if total.ok else 1
 
 
+def _program_source(name_or_path: str) -> str:
+    """Resolve a seed-workload name or an assembly file path to source."""
+    from repro.workloads.programs import PROGRAMS
+    if name_or_path in PROGRAMS:
+        return PROGRAMS[name_or_path]
+    try:
+        with open(name_or_path) as handle:
+            return handle.read()
+    except OSError as error:
+        raise SystemExit(
+            f"{name_or_path!r} is neither a seed workload "
+            f"({sorted(PROGRAMS)}) nor a readable file: {error}")
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.persist import TranslationRepository
+    repo = TranslationRepository(args.cache_dir)
+
+    if args.action == "stats":
+        print(repo.stats().format())
+        return 0
+
+    if args.action == "gc":
+        report = repo.gc(args.budget)
+        print(report.format())
+        return 0
+
+    if not args.program:
+        raise SystemExit(f"cache {args.action} requires a program "
+                         "(seed workload name or assembly file)")
+    source = _program_source(args.program)
+    config = _config_by_name(args.config)
+    vm = CoDesignedVM(config, hot_threshold=args.hot_threshold)
+    vm.load(assemble(source))
+
+    if args.action == "save":
+        # cold run to populate the code caches, then snapshot them
+        report = vm.run(max_instructions=args.max_instructions)
+        written = vm.save_translations(repo)
+        print(report.summary())
+        print(f"\nsaved {written} new translation record(s) "
+              f"to {args.cache_dir}")
+        return report.exit_code or 0
+
+    # action == "load": warm-start from the repository, then run
+    load_report = vm.warm_start(repo)
+    print(load_report.format())
+    print()
+    report = vm.run(max_instructions=args.max_instructions)
+    for item in report.output:
+        print(item)
+    print()
+    print(report.summary())
+    return report.exit_code or 0
+
+
 def cmd_configs(_args: argparse.Namespace) -> int:
     rows = []
     for name, config in ALL_CONFIGS().items():
@@ -246,6 +308,29 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--json", action="store_true",
                         help="machine-readable violation report")
     verify.set_defaults(func=cmd_verify)
+
+    cache = sub.add_parser(
+        "cache",
+        help="persistent translation repository (save/load/stats/gc)")
+    cache.add_argument("action",
+                       choices=["save", "load", "stats", "gc"],
+                       help="save: cold run + snapshot translations; "
+                            "load: warm-start from the repository and "
+                            "run; stats: repository summary; gc: evict "
+                            "LRU records down to a size budget")
+    cache.add_argument("program", nargs="?", default=None,
+                       help="seed workload name or assembly file "
+                            "(required for save/load)")
+    cache.add_argument("--cache-dir", default=".repro-cache",
+                       help="repository directory "
+                            "(default: .repro-cache)")
+    cache.add_argument("--config", default="soft")
+    cache.add_argument("--hot-threshold", type=int, default=None)
+    cache.add_argument("--max-instructions", type=int,
+                       default=10_000_000)
+    cache.add_argument("--budget", type=int, default=64 * 1024 * 1024,
+                       help="gc size budget in bytes (default 64 MiB)")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -86,6 +86,11 @@ class TranslationCosts:
     interp_cycles_per_instr: Optional[float] = None
     #: XLTx86 latency in cycles (Section 4.2).
     xltx86_latency: int = 4
+    #: Warm-start load cost per persisted x86 instruction: deserialize,
+    #: re-encode at the new native address and screen with the verifier
+    #: — one linear pass over the micro-ops, roughly an order of
+    #: magnitude cheaper than software BBT translation (83 cyc/instr).
+    persist_load_cycles_per_instr: float = 12.0
 
 
 @dataclass(frozen=True)

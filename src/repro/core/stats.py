@@ -31,6 +31,17 @@ class ExecutionReport:
     bbt_flushes: int = 0
     sbt_flushes: int = 0
     xltx86_invocations: int = 0
+    #: code-cache pressure: translations evicted by wholesale flushes and
+    #: the work repeated afterwards (the numbers the persistent
+    #: translation cache exists to drive down)
+    translations_lost_in_flushes: int = 0
+    bbt_retranslations: int = 0
+    sbt_retranslations: int = 0
+    hotspot_retranslations: int = 0
+    #: warm-start outcome (persistent translation cache; 0s = cold boot)
+    persist_loaded: int = 0
+    persist_dropped: int = 0
+    persist_chains_restored: int = 0
 
     @property
     def fused_uop_fraction(self) -> float:
@@ -50,7 +61,18 @@ class ExecutionReport:
                  f"BBT blocks:           {self.blocks_translated}",
                  f"SBT superblocks:      {self.superblocks_translated}",
                  f"chains made:          {self.chains_made}",
-                 f"VM exits:             {self.vm_exits}"]
+                 f"VM exits:             {self.vm_exits}",
+                 f"cache flushes:        {self.bbt_flushes} bbt / "
+                 f"{self.sbt_flushes} sbt",
+                 f"translations lost:    "
+                 f"{self.translations_lost_in_flushes}",
+                 f"re-translations:      {self.bbt_retranslations} bbt / "
+                 f"{self.hotspot_retranslations} hotspot"]
+        if self.persist_loaded or self.persist_dropped:
+            lines.append(f"warm-start loads:     {self.persist_loaded} "
+                         f"({self.persist_dropped} dropped, "
+                         f"{self.persist_chains_restored} chains "
+                         f"restored)")
         if self.xltx86_invocations:
             lines.append(f"XLTx86 invocations:   {self.xltx86_invocations}")
         return "\n".join(lines)

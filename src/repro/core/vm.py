@@ -109,6 +109,58 @@ class CoDesignedVM:
             runtime.bbt.xlt_unit = self.xlt_unit
         return runtime
 
+    # -- persistent translation cache --------------------------------------
+
+    def _repository(self, repository):
+        from repro.persist import TranslationRepository
+        if isinstance(repository, TranslationRepository):
+            return repository
+        return TranslationRepository(repository)
+
+    def save_translations(self, repository) -> int:
+        """Snapshot the current code caches into an on-disk repository.
+
+        ``repository`` is a path or a
+        :class:`~repro.persist.TranslationRepository`.  Returns the
+        number of newly written records.  Typically called after a cold
+        run so the next :meth:`warm_start` boot pays no BBT/SBT cost for
+        the blocks seen here.
+        """
+        from repro.persist import (capture_translations,
+                                   config_fingerprint, image_fingerprint)
+        if self.runtime is None or not self._loaded:
+            raise RuntimeError("no VM runtime to snapshot "
+                               "(load an image under a VM config first)")
+        records = capture_translations(self.runtime.directory,
+                                       self.state.memory)
+        return self._repository(repository).save(
+            records, config_fingerprint(self.config),
+            image_fingerprint(self._image), config_name=self.config.name)
+
+    def warm_start(self, repository):
+        """Re-materialize persisted translations into this VM's caches.
+
+        Call after :meth:`load` and before :meth:`run`.  Every loaded
+        translation is re-fingerprinted against the current program
+        bytes and screened by the verifier rule-pack; stale or corrupt
+        entries are dropped.  Returns the
+        :class:`~repro.persist.LoadReport`.
+        """
+        from repro.persist import (WarmStartLoader, config_fingerprint,
+                                   image_fingerprint)
+        if self.runtime is None or not self._loaded:
+            raise RuntimeError("load an image under a VM config before "
+                               "warm-starting")
+        repo = self._repository(repository)
+        config_fp = config_fingerprint(self.config)
+        image_fp = image_fingerprint(self._image)
+        records = repo.load(config_fp, image_fp)
+        report = WarmStartLoader(self.runtime).load_records(records)
+        expected = repo.manifest_entry_count(config_fp, image_fp)
+        if expected is not None and expected > len(records):
+            report.missing_objects += expected - len(records)
+        return report
+
     # -- execution ------------------------------------------------------------
 
     def run(self, max_instructions: int = 10_000_000,
@@ -146,6 +198,14 @@ class CoDesignedVM:
             profile_calls=stats["profile_calls"],
             bbt_flushes=stats["bbt_flushes"],
             sbt_flushes=stats["sbt_flushes"],
+            translations_lost_in_flushes=stats[
+                "translations_lost_in_flushes"],
+            bbt_retranslations=stats["bbt_retranslations"],
+            sbt_retranslations=stats["sbt_retranslations"],
+            hotspot_retranslations=stats["hotspot_retranslations"],
+            persist_loaded=stats["persist_loaded"],
+            persist_dropped=stats["persist_dropped"],
+            persist_chains_restored=stats["persist_chains_restored"],
             xltx86_invocations=(self.xlt_unit.invocations
                                 if self.xlt_unit else 0))
 

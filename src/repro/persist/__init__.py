@@ -1,0 +1,69 @@
+"""Persistent translation cache — warm-start the VM from disk.
+
+The startup transient the paper attacks comes from translating cold
+code.  Its hardware assists cut the *per-instruction* cost of that
+translation; this subsystem removes the *recurrence*: translations
+produced during one run are serialized into an on-disk, content-
+addressed repository and re-materialized into the code caches at the
+next boot, so a workload's second launch starts warm and pays no BBT
+cost for previously-seen blocks.
+
+Pieces:
+
+* :mod:`repro.persist.format` — record serialization, content keys,
+  config/image fingerprints;
+* :mod:`repro.persist.capture` — snapshot a live translation directory;
+* :mod:`repro.persist.repository` — the on-disk store (manifests,
+  content-addressed objects, LRU eviction);
+* :mod:`repro.persist.loader` — boot-time re-materialization with
+  source re-fingerprinting and verifier screening.
+
+Typical use (see ``examples/warm_start.py`` and ``docs/persistence.md``)::
+
+    vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+    vm.load(image)
+    vm.run()
+    vm.save_translations("cache-dir")          # cold run, then snapshot
+
+    vm2 = CoDesignedVM(vm_soft(), hot_threshold=50)
+    vm2.load(image)
+    vm2.warm_start("cache-dir")                # zero BBT translations
+    vm2.run()
+"""
+
+from repro.persist.capture import capture_translations
+from repro.persist.format import (
+    FORMAT_VERSION,
+    PersistFormatError,
+    config_fingerprint,
+    image_fingerprint,
+    materialize,
+    record_key,
+    serialize_translation,
+    source_matches,
+    validate_record,
+)
+from repro.persist.loader import LoadReport, WarmStartLoader
+from repro.persist.repository import (
+    GCReport,
+    RepositoryStats,
+    TranslationRepository,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "GCReport",
+    "LoadReport",
+    "PersistFormatError",
+    "RepositoryStats",
+    "TranslationRepository",
+    "WarmStartLoader",
+    "capture_translations",
+    "config_fingerprint",
+    "image_fingerprint",
+    "materialize",
+    "record_key",
+    "serialize_translation",
+    "source_matches",
+    "validate_record",
+]

@@ -1,0 +1,26 @@
+"""Snapshot a live translation directory into persistable records."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.persist.format import serialize_translation
+from repro.translator.code_cache import TranslationDirectory
+
+
+def capture_translations(directory: TranslationDirectory,
+                         memory) -> List[Dict]:
+    """Serialize every currently installed translation.
+
+    Only what is in the caches *now* is captured: translations lost to a
+    wholesale flush earlier in the run are gone (which is exactly the
+    cost the flush/retranslation counters quantify).  Unserializable
+    translations (e.g. whose source bytes no longer decode) are skipped.
+    """
+    records: List[Dict] = []
+    for cache in (directory.bbt_cache, directory.sbt_cache):
+        for translation in cache.translations:
+            record = serialize_translation(translation, memory)
+            if record is not None:
+                records.append(record)
+    return records

@@ -1,0 +1,198 @@
+"""Warm-start loader: re-materialize persisted translations at VM boot.
+
+For every record the loader
+
+1. re-checks the **source fingerprint** against the freshly loaded
+   program memory (a record translated from different bytes is stale and
+   dropped);
+2. rebuilds the micro-op stream and **re-encodes it at the new native
+   address** handed out by the owning code cache — BC/JMP displacements
+   are translation-relative, so only exit-stub and side-table anchors
+   need rebasing;
+3. re-binds the BBT profiling prologue to a freshly allocated countdown
+   counter (the old counter address is dead VMM state from the previous
+   process);
+4. runs the stream through the translation **verifier rule-pack**; a
+   record that violates any invariant is dropped, never installed, never
+   executed;
+5. installs through ``TranslationDirectory.install`` — the same path new
+   translations take, so lookup tables, side tables and BBT->SBT
+   redirects are wired identically to a cold translation.
+
+After installation the loader eagerly **re-chains** exit stubs whose
+targets were also loaded, and disables the countdown counters of BBT
+copies superseded by a loaded SBT copy, so the warm VM starts in the
+steady state the cold VM ended in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from dataclasses import replace as _replace
+
+from repro.isa.fusible.encoding import UopEncodeError, encode_stream
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.fusible.registers import R_SCRATCH0
+from repro.persist.format import (
+    PersistFormatError,
+    materialize,
+    source_matches,
+    validate_record,
+)
+from repro.verify.verifier import verify_translation
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one warm-start load (the persistent hit/miss story)."""
+
+    attempted: int = 0
+    loaded: int = 0
+    bbt_loaded: int = 0
+    sbt_loaded: int = 0
+    bytes_loaded: int = 0
+    chains_restored: int = 0
+    #: drop reasons (these are the persistent-cache misses)
+    stale_source: int = 0
+    corrupt: int = 0
+    verifier_rejected: int = 0
+    capacity_skipped: int = 0
+    duplicate_skipped: int = 0
+    #: manifest entries whose object file was unreadable or missing
+    missing_objects: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return (self.stale_source + self.corrupt +
+                self.verifier_rejected + self.capacity_skipped +
+                self.missing_objects)
+
+    def format(self) -> str:
+        lines = [f"warm start: {self.loaded}/{self.attempted} "
+                 f"translation(s) loaded "
+                 f"({self.bbt_loaded} bbt / {self.sbt_loaded} sbt, "
+                 f"{self.bytes_loaded} bytes)",
+                 f"chains restored:  {self.chains_restored}"]
+        if self.dropped:
+            lines.append(
+                f"dropped:          {self.dropped} "
+                f"(stale {self.stale_source}, corrupt {self.corrupt}, "
+                f"verifier {self.verifier_rejected}, "
+                f"capacity {self.capacity_skipped}, "
+                f"missing {self.missing_objects})")
+        return "\n".join(lines)
+
+
+def _rebind_counter(uops, old_addr: int, new_addr: int):
+    """Point the profiling prologue at a freshly allocated counter.
+
+    The prologue shape is fixed (see ``emit.profile_prologue``): the
+    LUI/ORI pair at positions 1 and 2 materializes the counter address
+    into R_SCRATCH0.  Anything else means the record does not match its
+    metadata and is treated as corrupt.
+    """
+    old_high = (old_addr >> 13) & 0x7FFFF
+    old_low = old_addr & 0x1FFF
+    if (len(uops) < 3
+            or uops[1].op is not UOp.LUI or uops[1].rd != R_SCRATCH0
+            or uops[1].imm != old_high
+            or uops[2].op is not UOp.ORI or uops[2].rd != R_SCRATCH0
+            or uops[2].imm != old_low):
+        raise PersistFormatError(
+            "profiling prologue does not match recorded counter")
+    out = list(uops)
+    out[1] = _replace(uops[1], imm=(new_addr >> 13) & 0x7FFFF)
+    out[2] = _replace(uops[2], imm=new_addr & 0x1FFF)
+    return out
+
+
+class WarmStartLoader:
+    """Loads persisted records into a booted :class:`VMRuntime`."""
+
+    def __init__(self, runtime, rechain: bool = True) -> None:
+        self.runtime = runtime
+        self.rechain = rechain and runtime.enable_chaining
+
+    def load_records(self, records: List[Dict]) -> LoadReport:
+        """Install every loadable record; returns the hit/miss report."""
+        report = LoadReport()
+        directory = self.runtime.directory
+        memory = self.runtime.memory
+        loaded = []
+        seen: Set[Tuple[str, int]] = set()
+        # BBT copies first so a following SBT copy installs its redirect
+        ordered = sorted(records,
+                         key=lambda r: (r.get("kind") != "bbt",
+                                        r.get("entry", 0)
+                                        if isinstance(r.get("entry"), int)
+                                        else 0))
+        for record in ordered:
+            report.attempted += 1
+            try:
+                validate_record(record)
+            except PersistFormatError:
+                report.corrupt += 1
+                continue
+            kind, entry = record["kind"], record["entry"]
+            if (kind, entry) in seen:
+                report.duplicate_skipped += 1
+                continue
+            if not source_matches(record, memory):
+                report.stale_source += 1
+                continue
+            cache = directory.cache_for(kind)
+            try:
+                translation = materialize(record, cache.reserve())
+                uops = translation.uops
+                if kind == "bbt" and record["counter_addr"] is not None:
+                    new_counter = self.runtime.bbt.allocate_counter()
+                    uops = _rebind_counter(uops,
+                                           record["counter_addr"],
+                                           new_counter)
+                    translation.uops = uops
+                    translation.counter_addr = new_counter
+                data = encode_stream(uops)
+            except (PersistFormatError, UopEncodeError):
+                report.corrupt += 1
+                continue
+            if not cache.would_fit(len(data)):
+                report.capacity_skipped += 1
+                continue
+            # the PR-1 rule-pack gates every install: a record that
+            # breaks an invariant is dropped, never executed
+            if not verify_translation(translation).ok:
+                report.verifier_rejected += 1
+                continue
+            directory.install(data, translation)
+            seen.add((kind, entry))
+            loaded.append(translation)
+            report.loaded += 1
+            report.bytes_loaded += len(data)
+            if kind == "bbt":
+                report.bbt_loaded += 1
+            else:
+                report.sbt_loaded += 1
+
+        self._relink(loaded, report)
+        self.runtime.persist_report = report
+        return report
+
+    def _relink(self, loaded, report: LoadReport) -> None:
+        """Restore steady-state linkage among the loaded translations."""
+        directory = self.runtime.directory
+        if self.rechain:
+            for translation in loaded:
+                for stub in translation.exits:
+                    if directory.request_chain(stub):
+                        report.chains_restored += 1
+        # a loaded SBT copy supersedes the BBT copy's profiling: stop the
+        # countdown so the warm run does not re-trigger promotion
+        from repro.vmm.runtime import _COUNTER_DISABLED
+        for translation in loaded:
+            if (translation.kind == "bbt"
+                    and translation.counter_addr is not None
+                    and directory.has_sbt(translation.entry)):
+                self.runtime.memory.write_u32(translation.counter_addr,
+                                              _COUNTER_DISABLED)

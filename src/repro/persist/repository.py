@@ -1,0 +1,307 @@
+"""The on-disk translation repository.
+
+Layout (all JSON, no external dependencies)::
+
+    <root>/
+        meta.json                  # format version, LRU clock, object index
+        objects/<key>.json         # one record per content key
+        manifests/<cfg>__<img>.json  # entry list per (config, image) pair
+
+Objects are content-addressed (see :mod:`repro.persist.format`), so the
+same translation saved under two configurations that emit identical code
+is stored once.  Manifests bind a (config fingerprint, image
+fingerprint) pair to the set of object keys that warm-start it; a config
+or program change selects a different manifest and never sees stale
+objects.
+
+Eviction is LRU over a logical clock: every save or load touch bumps the
+repository clock and stamps the objects involved.  :meth:`gc` drops the
+least-recently-used objects until the store fits a byte budget, then
+strips dangling references from every manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.persist.format import (
+    FORMAT_VERSION,
+    PersistFormatError,
+    validate_record,
+)
+
+
+@dataclass
+class RepositoryStats:
+    """Snapshot of repository contents (the ``cache stats`` CLI)."""
+
+    root: str
+    objects: int = 0
+    total_bytes: int = 0
+    clock: int = 0
+    manifests: List[Dict] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [f"repository: {self.root}",
+                 f"objects:    {self.objects} "
+                 f"({self.total_bytes} bytes)",
+                 f"clock:      {self.clock}"]
+        if not self.manifests:
+            lines.append("manifests:  none")
+        for manifest in self.manifests:
+            lines.append(
+                f"manifest {manifest['name']}: "
+                f"{manifest['entries']} entries "
+                f"({manifest['bbt']} bbt / {manifest['sbt']} sbt), "
+                f"saved at clock {manifest['saved_clock']}")
+        return "\n".join(lines)
+
+
+@dataclass
+class GCReport:
+    """Outcome of one eviction pass."""
+
+    budget_bytes: int
+    evicted_objects: int = 0
+    evicted_bytes: int = 0
+    remaining_objects: int = 0
+    remaining_bytes: int = 0
+
+    def format(self) -> str:
+        return (f"gc: evicted {self.evicted_objects} object(s) / "
+                f"{self.evicted_bytes} bytes; "
+                f"{self.remaining_objects} object(s) / "
+                f"{self.remaining_bytes} bytes remain "
+                f"(budget {self.budget_bytes})")
+
+
+class TranslationRepository:
+    """Content-addressed persistent store for translation records."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifests_dir = self.root / "manifests"
+        self.meta_path = self.root / "meta.json"
+
+    # -- meta handling ------------------------------------------------------
+
+    def _load_meta(self) -> Dict:
+        try:
+            with open(self.meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            meta = {}
+        if meta.get("format") != FORMAT_VERSION:
+            meta = {"format": FORMAT_VERSION, "clock": 0, "objects": {}}
+        meta.setdefault("clock", 0)
+        meta.setdefault("objects", {})
+        return meta
+
+    def _write_meta(self, meta: Dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.meta_path.with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(meta, handle, indent=1, sort_keys=True)
+        os.replace(tmp, self.meta_path)
+
+    @staticmethod
+    def _manifest_name(config_fp: str, image_fp: str) -> str:
+        return f"{config_fp}__{image_fp}.json"
+
+    def _manifest_path(self, config_fp: str, image_fp: str) -> Path:
+        return self.manifests_dir / self._manifest_name(config_fp,
+                                                        image_fp)
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / f"{key}.json"
+
+    # -- save ---------------------------------------------------------------
+
+    def save(self, records: List[Dict], config_fp: str, image_fp: str,
+             config_name: str = "") -> int:
+        """Persist records under one (config, image) manifest.
+
+        Returns the number of records written.  Existing objects with
+        the same content key are reused (their LRU stamp is refreshed);
+        the manifest is replaced wholesale so it exactly mirrors the
+        saved snapshot.
+        """
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.manifests_dir.mkdir(parents=True, exist_ok=True)
+        meta = self._load_meta()
+        meta["clock"] += 1
+        clock = meta["clock"]
+
+        keys: List[str] = []
+        saved = 0
+        for record in records:
+            if record is None:
+                continue
+            key = record["key"]
+            path = self._object_path(key)
+            if not path.exists():
+                with open(path, "w") as handle:
+                    json.dump(record, handle)
+                saved += 1
+            size = path.stat().st_size
+            meta["objects"][key] = {"last_used": clock, "size": size,
+                                    "kind": record["kind"],
+                                    "entry": record["entry"]}
+            keys.append(key)
+
+        manifest = {
+            "format": FORMAT_VERSION,
+            "config_fingerprint": config_fp,
+            "image_fingerprint": image_fp,
+            "config_name": config_name,
+            "saved_clock": clock,
+            "entries": keys,
+        }
+        with open(self._manifest_path(config_fp, image_fp), "w") as handle:
+            json.dump(manifest, handle, indent=1)
+        self._write_meta(meta)
+        return saved
+
+    # -- load ---------------------------------------------------------------
+
+    def load(self, config_fp: str, image_fp: str) -> List[Dict]:
+        """Fetch the validated records for one (config, image) pair.
+
+        Records that fail structural validation (truncated files,
+        tampered payloads, key mismatches) are silently skipped here and
+        reported by the loader as corrupt via the manifest/record count
+        difference.  Returns ``[]`` when no matching manifest exists.
+        """
+        manifest = self._read_manifest(config_fp, image_fp)
+        if manifest is None:
+            return []
+        meta = self._load_meta()
+        meta["clock"] += 1
+        clock = meta["clock"]
+        records: List[Dict] = []
+        for key in manifest.get("entries", ()):
+            record = self._read_object(key)
+            if record is None:
+                continue
+            records.append(record)
+            if key in meta["objects"]:
+                meta["objects"][key]["last_used"] = clock
+        self._write_meta(meta)
+        return records
+
+    def manifest_entry_count(self, config_fp: str,
+                             image_fp: str) -> Optional[int]:
+        """Entries listed in the manifest, or None if absent."""
+        manifest = self._read_manifest(config_fp, image_fp)
+        if manifest is None:
+            return None
+        return len(manifest.get("entries", ()))
+
+    def _read_manifest(self, config_fp: str,
+                       image_fp: str) -> Optional[Dict]:
+        try:
+            with open(self._manifest_path(config_fp, image_fp)) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if manifest.get("format") != FORMAT_VERSION:
+            return None
+        if manifest.get("config_fingerprint") != config_fp or \
+                manifest.get("image_fingerprint") != image_fp:
+            return None  # tampered or misplaced manifest
+        return manifest
+
+    def _read_object(self, key: str) -> Optional[Dict]:
+        try:
+            with open(self._object_path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            validate_record(record)
+        except PersistFormatError:
+            return None
+        if record["key"] != key:
+            return None  # stored under the wrong name
+        return record
+
+    # -- stats / gc ---------------------------------------------------------
+
+    def stats(self) -> RepositoryStats:
+        meta = self._load_meta()
+        stats = RepositoryStats(root=str(self.root), clock=meta["clock"])
+        stats.objects = len(meta["objects"])
+        stats.total_bytes = sum(entry["size"]
+                                for entry in meta["objects"].values())
+        if self.manifests_dir.is_dir():
+            for path in sorted(self.manifests_dir.glob("*.json")):
+                try:
+                    with open(path) as handle:
+                        manifest = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                keys = manifest.get("entries", [])
+                kinds = [meta["objects"].get(key, {}).get("kind")
+                         for key in keys]
+                stats.manifests.append({
+                    "name": path.stem,
+                    "config_name": manifest.get("config_name", ""),
+                    "entries": len(keys),
+                    "bbt": sum(1 for kind in kinds if kind == "bbt"),
+                    "sbt": sum(1 for kind in kinds if kind == "sbt"),
+                    "saved_clock": manifest.get("saved_clock", 0),
+                })
+        return stats
+
+    def gc(self, budget_bytes: int) -> GCReport:
+        """Evict least-recently-used objects until under the budget."""
+        meta = self._load_meta()
+        report = GCReport(budget_bytes=budget_bytes)
+        total = sum(entry["size"] for entry in meta["objects"].values())
+        # oldest first; ties broken by key for determinism
+        order = sorted(meta["objects"].items(),
+                       key=lambda item: (item[1]["last_used"], item[0]))
+        evicted = set()
+        for key, entry in order:
+            if total <= budget_bytes:
+                break
+            try:
+                self._object_path(key).unlink()
+            except OSError:
+                pass
+            total -= entry["size"]
+            report.evicted_bytes += entry["size"]
+            report.evicted_objects += 1
+            evicted.add(key)
+            del meta["objects"][key]
+        if evicted:
+            self._strip_manifest_refs(evicted)
+        self._write_meta(meta)
+        report.remaining_objects = len(meta["objects"])
+        report.remaining_bytes = total
+        return report
+
+    def _strip_manifest_refs(self, evicted) -> None:
+        if not self.manifests_dir.is_dir():
+            return
+        for path in self.manifests_dir.glob("*.json"):
+            try:
+                with open(path) as handle:
+                    manifest = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            entries = manifest.get("entries", [])
+            kept = [key for key in entries if key not in evicted]
+            if len(kept) == len(entries):
+                continue
+            if kept:
+                manifest["entries"] = kept
+                with open(path, "w") as handle:
+                    json.dump(manifest, handle, indent=1)
+            else:
+                path.unlink()

@@ -42,6 +42,9 @@ class ModeCosts:
     #: the XLTx86 unit is powered for the duration of each HAloop burst,
     #: i.e. all ~20 cycles per instruction; it is gated off otherwise)
     xlt_busy_per_instr: float
+    #: warm-start re-materialization cost per persisted instruction
+    #: (PERSISTENT_WARM scenario; 0 for non-VM configurations)
+    persist_load_cpi: float = 0.0
 
     def cold_execution_cpi(self, mode: str) -> float:
         """CPI of cold-code execution for an initial-emulation mode."""
@@ -82,4 +85,6 @@ def mode_costs_for(config: MachineConfig, app: AppProfile) -> ModeCosts:
         bbt_translate_cpi=bbt_translate,
         sbt_translate_cpi=sbt_translate,
         xlt_busy_per_instr=xlt_busy,
+        persist_load_cpi=(costs.persist_load_cycles_per_instr
+                          if config.is_vm else 0.0),
     )

@@ -34,6 +34,7 @@ from repro.timing.sampler import LogSampler, SampledSeries
 from repro.timing.scenarios import (
     DISK_ACCESS_CYCLES,
     DISK_CYCLES_PER_BYTE,
+    PERSIST_OPEN_CYCLES,
     Scenario,
 )
 from repro.workloads.trace import Region, Workload
@@ -58,6 +59,9 @@ class StartupResult:
     promotions: int = 0
     sbt_instrs_executed: float = 0.0
     cold_miss_cycles: float = 0.0
+    #: static instructions re-materialized from the persistent
+    #: translation repository at boot (PERSISTENT_WARM scenario)
+    persist_loaded_instrs: int = 0
 
     @property
     def aggregate_ipc(self) -> float:
@@ -114,10 +118,12 @@ class StartupSimulator:
     # -- initial state per scenario ------------------------------------------
 
     def _initial_region_state(self, region: Region) -> _RegionState:
-        if self.scenario in (Scenario.CODE_CACHE_WARM,
+        if self.scenario in (Scenario.PERSISTENT_WARM,
+                             Scenario.CODE_CACHE_WARM,
                              Scenario.STEADY_STATE):
-            # translations already exist from the previous run: hot
-            # regions are in SBT form, the rest in BBT/cold form
+            # translations already exist from the previous run (still in
+            # memory, or re-materialized from the repository at boot):
+            # hot regions are in SBT form, the rest in BBT/cold form
             if self.config.is_vm and \
                     region.total_iterations >= self.config.hot_threshold:
                 return _RegionState("sbt", self.config.hot_threshold)
@@ -140,6 +146,8 @@ class StartupSimulator:
             disk_cycles = DISK_ACCESS_CYCLES + \
                 DISK_CYCLES_PER_BYTE * self.app.x86_bytes
             self._advance(disk_cycles, 0.0, "disk_load")
+        if self.scenario is Scenario.PERSISTENT_WARM and self.config.is_vm:
+            self._load_persisted_translations()
 
         threshold = self.config.hot_threshold
         optimizes = self.config.is_vm
@@ -177,6 +185,22 @@ class StartupSimulator:
 
     # -- events -------------------------------------------------------------------
 
+    def _load_persisted_translations(self) -> None:
+        """Boot-time re-materialization from the translation repository.
+
+        Every region the previous run translated is deserialized,
+        re-encoded at its new code-cache address and screened by the
+        verifier — a linear per-instruction charge on top of the fixed
+        repository-open cost (see :mod:`repro.persist.loader`).
+        """
+        threshold = self.config.hot_threshold
+        instrs = sum(region.instr_count for region in self._regions
+                     if self.config.uses_bbt
+                     or region.total_iterations >= threshold)
+        self.result.persist_loaded_instrs = instrs
+        cycles = PERSIST_OPEN_CYCLES + instrs * self.costs.persist_load_cpi
+        self._advance(cycles, 0.0, "persist_load")
+
     def _charge_cold_misses(self, region: Region,
                             state: _RegionState) -> None:
         """Scenario-dependent cold misses at a region's first execution."""
@@ -185,7 +209,8 @@ class StartupSimulator:
         instrs = region.instr_count
         cold_cycles = 0.0
         if self.config.uses_bbt and \
-                self.scenario is Scenario.CODE_CACHE_WARM:
+                self.scenario in (Scenario.CODE_CACHE_WARM,
+                                  Scenario.PERSISTENT_WARM):
             # translations survived in memory; only they are fetched
             cold_cycles += self.footprint.touch(
                 self._shadow_addr(region), self._uop_bytes(region),

@@ -95,6 +95,10 @@ class BasicBlockTranslator:
         self.memory.write_u32(addr, self.hot_threshold)
         return addr
 
+    def allocate_counter(self) -> int:
+        """Allocate one armed countdown counter (warm-start loader)."""
+        return self._allocate_counter()
+
     def reset_counter(self, translation: Translation,
                       value: Optional[int] = None) -> None:
         """Re-arm a translation's countdown counter (VMM policy)."""

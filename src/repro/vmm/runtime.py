@@ -109,6 +109,16 @@ class VMRuntime:
         self.sbt_retranslations = 0
         self.instructions_interpreted = 0
         self.total_uops_executed = 0
+        #: translations evicted by wholesale flushes (work thrown away)
+        self.translations_lost_in_flushes = 0
+        #: blocks translated again after their copy was lost to a flush
+        self.bbt_retranslations = 0
+        #: hotspots that had to be re-optimized after an SBT flush
+        self.hotspot_retranslations = 0
+        self._bbt_entries_ever: set = set()
+        self._sbt_entries_ever: set = set()
+        #: warm-start outcome, set by the persist loader (None = cold)
+        self.persist_report = None
 
     # -- top-level run loops ------------------------------------------------
 
@@ -183,11 +193,16 @@ class VMRuntime:
         if translation is not None:
             return translation
         try:
-            return self.bbt.translate(entry)
+            translation = self.bbt.translate(entry)
         except CodeCacheFull:
-            self.directory.flush("bbt")
+            evicted = self.directory.flush("bbt")
+            self.translations_lost_in_flushes += len(evicted)
             self.bbt_full_flushes += 1
-            return self.bbt.translate(entry)
+            translation = self.bbt.translate(entry)
+        if entry in self._bbt_entries_ever:
+            self.bbt_retranslations += 1
+        self._bbt_entries_ever.add(entry)
+        return translation
 
     def _optimize(self, entry: int) -> Optional[Translation]:
         """Run the SBT on a newly hot region."""
@@ -197,10 +212,14 @@ class VMRuntime:
         try:
             translation = self.sbt.translate(entry, edges)
         except CodeCacheFull:
-            self.directory.flush("sbt")
+            evicted = self.directory.flush("sbt")
+            self.translations_lost_in_flushes += len(evicted)
             self.sbt_full_flushes += 1
             self.sbt_retranslations += 1
             translation = self.sbt.translate(entry, edges)
+        if entry in self._sbt_entries_ever:
+            self.hotspot_retranslations += 1
+        self._sbt_entries_ever.add(entry)
         return translation
 
     def _maybe_optimize_hotspots(self) -> None:
@@ -314,6 +333,17 @@ class VMRuntime:
             "bbt_flushes": self.directory.bbt_cache.flushes,
             "sbt_flushes": self.directory.sbt_cache.flushes,
             "sbt_retranslations": self.sbt_retranslations,
+            "translations_lost_in_flushes":
+                self.translations_lost_in_flushes,
+            "bbt_retranslations": self.bbt_retranslations,
+            "hotspot_retranslations": self.hotspot_retranslations,
+            "persist_loaded": (self.persist_report.loaded
+                               if self.persist_report else 0),
+            "persist_dropped": (self.persist_report.dropped
+                                if self.persist_report else 0),
+            "persist_chains_restored": (
+                self.persist_report.chains_restored
+                if self.persist_report else 0),
         }
 
 

@@ -109,3 +109,61 @@ class TestVerifyCommand:
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["verify", "--workload", "bogus"])
+
+
+class TestCacheCommand:
+    def test_save_then_load_skips_translation(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        code = main(["cache", "save", "fibonacci",
+                     "--cache-dir", cache_dir, "--hot-threshold", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "saved" in out and "translation record(s)" in out
+
+        code = main(["cache", "load", "fibonacci",
+                     "--cache-dir", cache_dir, "--hot-threshold", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm start:" in out
+        assert "BBT blocks:           0" in out
+        assert "warm-start loads" in out
+
+    def test_save_accepts_program_file(self, program_file, tmp_path,
+                                       capsys):
+        cache_dir = str(tmp_path / "cache")
+        code = main(["cache", "save", program_file,
+                     "--cache-dir", cache_dir, "--hot-threshold", "5"])
+        assert code == 0
+        code = main(["cache", "load", program_file,
+                     "--cache-dir", cache_dir, "--hot-threshold", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "210" in out  # program output survives the warm start
+
+    def test_stats_and_gc(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["cache", "save", "checksum", "--cache-dir", cache_dir,
+              "--hot-threshold", "50"])
+        capsys.readouterr()
+        code = main(["cache", "stats", "--cache-dir", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "objects:" in out and "manifest" in out
+
+        code = main(["cache", "gc", "--cache-dir", cache_dir,
+                     "--budget", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evicted" in out
+        code = main(["cache", "stats", "--cache-dir", cache_dir])
+        assert "objects:    0" in capsys.readouterr().out
+
+    def test_load_without_program_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "load",
+                  "--cache-dir", str(tmp_path / "cache")])
+
+    def test_unknown_program_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "save", "no-such-program",
+                  "--cache-dir", str(tmp_path / "cache")])

@@ -125,6 +125,70 @@ class TestChaining:
         assert restored.op is UOp.LUI
         assert restored.rd == R_EXIT_TARGET
 
+    def test_flush_unchains_cross_cache_both_directions(self):
+        """Regression: stubs in the *other* cache chained into a flushed
+        region must be unlinked, in both directions."""
+        directory, memory = make_directory()
+        # bbt stub chained into the sbt cache
+        bbt_source = install_simple(directory, 0x400000, "bbt",
+                                    x86_target=0x400100)
+        install_simple(directory, 0x400100, "sbt")
+        # sbt stub chained into the bbt cache
+        sbt_source = install_simple(directory, 0x400200, "sbt",
+                                    x86_target=0x400300)
+        bbt_target = install_simple(directory, 0x400300, "bbt")
+        directory.request_chain(bbt_source.exits[0])
+        directory.request_chain(sbt_source.exits[0])
+        assert bbt_source.exits[0].chained_to is not None
+        assert sbt_source.exits[0].chained_to is not None
+
+        directory.flush("bbt")
+        # the surviving sbt stub no longer jumps into freed bbt space
+        stub = sbt_source.exits[0]
+        assert stub.chained_to is None
+        restored = decode_uop(memory.read(stub.stub_addr, 4))
+        assert restored.op is UOp.LUI
+        assert restored.rd == R_EXIT_TARGET
+        # re-translating the target lets the stub re-chain correctly
+        bbt_target = install_simple(directory, 0x400300, "bbt")
+        assert directory.request_chain(stub)
+        patched = decode_uop(memory.read(stub.stub_addr, 4))
+        assert stub.stub_addr + 4 + patched.imm == bbt_target.native_addr
+
+    def test_flush_keeps_other_cache_chains_outside_region(self):
+        """Chains between survivors are left intact by a flush."""
+        directory, _memory = make_directory()
+        sbt_source = install_simple(directory, 0x400000, "sbt",
+                                    x86_target=0x400100)
+        sbt_target = install_simple(directory, 0x400100, "sbt")
+        directory.request_chain(sbt_source.exits[0])
+        directory.flush("bbt")  # unrelated cache
+        assert sbt_source.exits[0].chained_to == sbt_target.native_addr
+
+    def test_flush_drops_pending_chains_from_dead_stubs(self):
+        """A pending chain whose stub died in the flush must never fire:
+        patching freed code-cache space would corrupt whatever is
+        installed there next."""
+        directory, _memory = make_directory()
+        source = install_simple(directory, 0x400000, "bbt",
+                                x86_target=0x400100)
+        stub = source.exits[0]
+        assert not directory.request_chain(stub)  # target absent: queued
+        directory.flush("bbt")
+        # installing the target later must not patch the dead stub
+        install_simple(directory, 0x400100, "sbt")
+        assert stub.chained_to is None
+
+    def test_flush_keeps_pending_chains_from_survivors(self):
+        directory, _memory = make_directory()
+        source = install_simple(directory, 0x400000, "sbt",
+                                x86_target=0x400100)
+        stub = source.exits[0]
+        assert not directory.request_chain(stub)
+        directory.flush("bbt")  # stub lives in sbt: request survives
+        target = install_simple(directory, 0x400100, "bbt")
+        assert stub.chained_to == target.native_addr
+
     def test_find_stub(self):
         directory, _memory = make_directory()
         source = install_simple(directory, 0x400000)

@@ -1,0 +1,96 @@
+"""Property test: persisted translations round-trip losslessly.
+
+For random hot-loop programs (shared ``loop_programs`` strategy): run
+cold, serialize every translation through real JSON, warm-start a fresh
+VM from the deserialized records, and check
+
+* the re-materialized streams are semantically identical to the
+  originals (equal micro-op by micro-op, modulo the re-bound profiling
+  counter address in the BBT prologue);
+* every record passes the verifier at install (the autouse sanitizer
+  fixture raises on any violation);
+* the warm run translates nothing and produces identical output.
+"""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.core.config import vm_soft
+from repro.core.vm import CoDesignedVM
+from repro.isa.fusible.opcodes import UOp
+from repro.isa.fusible.registers import R_SCRATCH0
+from repro.isa.x86lite import assemble
+from repro.persist import WarmStartLoader, capture_translations
+from tests.strategies import loop_programs
+
+HOT_THRESHOLD = 4  # low: random loops are short but must still promote
+
+
+def _boot(source: str) -> CoDesignedVM:
+    vm = CoDesignedVM(vm_soft(), hot_threshold=HOT_THRESHOLD)
+    vm.load(assemble(source))
+    return vm
+
+
+def _canonical(uops, counter_addr):
+    """The stream with the counter-address imms masked out.
+
+    The BBT profiling prologue materializes the countdown counter's
+    address via LUI/ORI into R_SCRATCH0; the loader re-binds it to a
+    fresh allocation, so those two imms are the only legitimate
+    difference between a persisted stream and its re-materialization.
+    """
+    masked = []
+    for index, uop in enumerate(uops):
+        if (counter_addr is not None and index in (1, 2)
+                and uop.rd == R_SCRATCH0
+                and uop.op in (UOp.LUI, UOp.ORI)):
+            masked.append((uop.op, uop.rd, uop.rs1, uop.rs2, "counter",
+                           uop.cond, uop.fused, uop.setflags,
+                           uop.x86_addr))
+        else:
+            masked.append((uop.op, uop.rd, uop.rs1, uop.rs2, uop.imm,
+                           uop.cond, uop.fused, uop.setflags,
+                           uop.x86_addr))
+    return masked
+
+
+@settings(max_examples=25, deadline=None)
+@given(source=loop_programs())
+def test_serialize_roundtrip_is_semantically_identical(source):
+    cold_vm = _boot(source)
+    cold = cold_vm.run()
+    records = capture_translations(cold_vm.runtime.directory,
+                                   cold_vm.state.memory)
+    assert records  # every loop program translates something
+    originals = {
+        (t.kind, t.entry): t
+        for cache in (cold_vm.runtime.directory.bbt_cache,
+                      cold_vm.runtime.directory.sbt_cache)
+        for t in cache.translations}
+
+    # through real JSON: what goes to disk is what comes back
+    records = json.loads(json.dumps(records))
+
+    warm_vm = _boot(source)
+    load = WarmStartLoader(warm_vm.runtime).load_records(records)
+    assert load.loaded == load.attempted == len(records)
+    assert load.dropped == 0
+
+    for cache in (warm_vm.runtime.directory.bbt_cache,
+                  warm_vm.runtime.directory.sbt_cache):
+        for translation in cache.translations:
+            original = originals[(translation.kind, translation.entry)]
+            assert _canonical(translation.uops,
+                              translation.counter_addr) == \
+                _canonical(original.uops, original.counter_addr)
+            assert translation.instr_count == original.instr_count
+            assert translation.fused_pairs == original.fused_pairs
+            assert len(translation.exits) == len(original.exits)
+
+    warm = warm_vm.run()
+    assert warm.blocks_translated == 0
+    assert warm.superblocks_translated == 0
+    assert warm.output == cold.output
+    assert warm.exit_code == cold.exit_code

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Warm-start smoke benchmark (the ``make bench-smoke`` gate).
+
+For every seed workload: cold-run the software VM, snapshot its
+translations into a temporary repository, then boot a fresh VM from that
+repository and run again.  The gate fails unless
+
+* the warm run performs *strictly fewer* BBT translations than the cold
+  run — and in fact zero, since the seed programs are deterministic and
+  every block seen cold is re-materialized at boot;
+* every persisted translation re-loads (nothing dropped as stale,
+  corrupt, or verifier-rejected);
+* both runs produce identical architected output;
+* the timing model agrees: the PERSISTENT_WARM startup scenario costs
+  measurably fewer cycles than MEMORY_STARTUP for the software VM.
+
+Run directly (``python tools/bench_smoke.py``) or via ``make verify``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.core.config import vm_soft                    # noqa: E402
+from repro.core.vm import CoDesignedVM                   # noqa: E402
+from repro.isa.x86lite.assembler import assemble         # noqa: E402
+from repro.persist import TranslationRepository          # noqa: E402
+from repro.timing.scenarios import Scenario              # noqa: E402
+from repro.timing.startup_sim import simulate_startup    # noqa: E402
+from repro.workloads.programs import PROGRAMS            # noqa: E402
+from repro.workloads.trace import generate_workload      # noqa: E402
+from repro.workloads.winstone import winstone_suite      # noqa: E402
+
+HOT_THRESHOLD = 50
+
+
+def check_functional(cache_dir: str) -> int:
+    repo = TranslationRepository(cache_dir)
+    failures = 0
+    for name, source in sorted(PROGRAMS.items()):
+        image = assemble(source)
+
+        cold_vm = CoDesignedVM(vm_soft(), hot_threshold=HOT_THRESHOLD)
+        cold_vm.load(image)
+        cold = cold_vm.run()
+        cold_vm.save_translations(repo)
+
+        warm_vm = CoDesignedVM(vm_soft(), hot_threshold=HOT_THRESHOLD)
+        warm_vm.load(image)
+        load = warm_vm.warm_start(repo)
+        warm = warm_vm.run()
+
+        problems = []
+        if not (warm.blocks_translated < cold.blocks_translated):
+            problems.append(
+                f"warm BBT translations not lower "
+                f"({warm.blocks_translated} vs {cold.blocks_translated})")
+        if warm.blocks_translated != 0:
+            problems.append(f"warm run still translated "
+                            f"{warm.blocks_translated} block(s)")
+        if load.dropped:
+            problems.append(f"{load.dropped} persisted record(s) dropped "
+                            f"at load")
+        if warm.output != cold.output or warm.exit_code != cold.exit_code:
+            problems.append("warm output differs from cold output")
+
+        status = "FAIL: " + "; ".join(problems) if problems else "ok"
+        print(f"{name:14s} cold bbt={cold.blocks_translated:3d} "
+              f"sbt={cold.superblocks_translated:2d} | "
+              f"loaded={load.loaded:3d} dropped={load.dropped} | "
+              f"warm bbt={warm.blocks_translated} ... {status}")
+        failures += bool(problems)
+    return failures
+
+
+def check_timing() -> int:
+    app = winstone_suite()[0]
+    workload = generate_workload(app, dyn_instrs=20_000_000, seed=0)
+    cold = simulate_startup(vm_soft(), workload,
+                            Scenario.MEMORY_STARTUP)
+    warm = simulate_startup(vm_soft(), workload,
+                            Scenario.PERSISTENT_WARM)
+    ok = warm.total_cycles < cold.total_cycles
+    print(f"\ntiming ({app.name}, 20M instrs): "
+          f"cold {cold.total_cycles / 1e6:.1f}M cycles, "
+          f"warm {warm.total_cycles / 1e6:.1f}M cycles "
+          f"... {'ok' if ok else 'FAIL: warm not faster'}")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    print("bench-smoke: warm start must beat cold start")
+    print("=" * 60)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as tmp:
+        failures = check_functional(tmp)
+    failures += check_timing()
+    print("=" * 60)
+    if failures:
+        print(f"bench-smoke: {failures} failure(s)")
+        return 1
+    print("bench-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
