@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-smoke examples figures clean
+.PHONY: install test lint verify bench bench-smoke chaos examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,8 +28,8 @@ lint:
 # Lint + the tier-1 suite with the translation verifier forced on
 # (the autouse sanitizer fixture arms the full rule-pack at every
 # TranslationDirectory.install; see docs/verifier.md), plus the
-# warm-start smoke gate.
-verify: lint bench-smoke
+# warm-start smoke gate and the seeded chaos gate.
+verify: lint bench-smoke chaos
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -40,6 +40,13 @@ bench:
 # cost fewer simulated cycles than a cold start (docs/persistence.md).
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
+
+# Seeded fault-injection gate: every fault class, every workload, warm
+# and cold — faulted runs must match their fault-free baselines exactly,
+# and fsck must repair every injected disk corruption
+# (docs/robustness.md).
+chaos:
+	$(PYTHON) tools/chaos.py
 
 # Run every example script end to end.
 examples:

@@ -15,12 +15,14 @@ Commands:
   workload with the translation verifier armed and report every
   invariant violation with micro-op-level diagnostics (see
   :mod:`repro.verify` and ``docs/verifier.md``).
-* ``cache {save,load,stats,gc} [PROGRAM] [--cache-dir DIR]`` — the
+* ``cache {save,load,stats,gc,fsck} [PROGRAM] [--cache-dir DIR]`` — the
   persistent translation repository: ``save`` cold-runs a program and
   snapshots its translations, ``load`` warm-starts from the repository
   (zero BBT translations for previously seen blocks), ``stats`` and
-  ``gc`` manage the on-disk store (see :mod:`repro.persist` and
-  ``docs/persistence.md``).
+  ``gc`` manage the on-disk store, ``fsck [--repair]`` detects and
+  repairs on-disk damage — torn writes, corrupt objects, dangling
+  manifest references (see :mod:`repro.persist`, ``docs/persistence.md``
+  and ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -212,6 +214,15 @@ def cmd_cache(args: argparse.Namespace) -> int:
         print(report.format())
         return 0
 
+    if args.action == "fsck":
+        report = repo.fsck(repair=args.repair)
+        print(report.format())
+        # check-only mode signals damage through the exit code so CI
+        # can gate on it; a repairing pass that settled everything is 0
+        if args.repair:
+            return 0 if repo.fsck(repair=False).ok else 1
+        return 0 if report.ok else 1
+
     if not args.program:
         raise SystemExit(f"cache {args.action} requires a program "
                          "(seed workload name or assembly file)")
@@ -313,11 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
         "cache",
         help="persistent translation repository (save/load/stats/gc)")
     cache.add_argument("action",
-                       choices=["save", "load", "stats", "gc"],
+                       choices=["save", "load", "stats", "gc", "fsck"],
                        help="save: cold run + snapshot translations; "
                             "load: warm-start from the repository and "
                             "run; stats: repository summary; gc: evict "
-                            "LRU records down to a size budget")
+                            "LRU records down to a size budget; fsck: "
+                            "check (and with --repair, fix) the store")
     cache.add_argument("program", nargs="?", default=None,
                        help="seed workload name or assembly file "
                             "(required for save/load)")
@@ -330,6 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=10_000_000)
     cache.add_argument("--budget", type=int, default=64 * 1024 * 1024,
                        help="gc size budget in bytes (default 64 MiB)")
+    cache.add_argument("--repair", action="store_true",
+                       help="fsck: quarantine corrupt objects and "
+                            "repair the index/manifests in place")
     cache.set_defaults(func=cmd_cache)
     return parser
 

@@ -121,6 +121,11 @@ class MachineConfig:
     #: (see :mod:`repro.verify`); raises TranslationVerifyError on the
     #: first invariant violation
     verify_translations: bool = False
+    #: sweep the code caches for corrupted translations every N
+    #: dispatches, evicting and re-translating on checksum mismatch
+    #: (0 = off; armed by chaos runs — see :mod:`repro.faults` and
+    #: ``docs/robustness.md``)
+    integrity_check_interval: int = 0
     #: steady-state IPC advantage of fused macro-op execution over the
     #: reference superscalar (Section 2: +8% on Winstone, +18% SPECint;
     #: per-application values live in the workload models)

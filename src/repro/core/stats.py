@@ -42,6 +42,17 @@ class ExecutionReport:
     persist_loaded: int = 0
     persist_dropped: int = 0
     persist_chains_restored: int = 0
+    #: fault / recovery counters (all 0 on a healthy run): translator
+    #: failures absorbed by the quarantine, blocks degraded to permanent
+    #: interpretation, and code-cache corruptions healed by the
+    #: integrity sweep (see docs/robustness.md)
+    translation_faults: int = 0
+    blocks_quarantined: int = 0
+    blocks_degraded: int = 0
+    interpreted_fallback_instrs: int = 0
+    integrity_faults_detected: int = 0
+    integrity_retranslations: int = 0
+    hotspot_misfires: int = 0
 
     @property
     def fused_uop_fraction(self) -> float:
@@ -73,6 +84,22 @@ class ExecutionReport:
                          f"({self.persist_dropped} dropped, "
                          f"{self.persist_chains_restored} chains "
                          f"restored)")
+        if self.translation_faults or self.blocks_degraded or \
+                self.blocks_quarantined:
+            lines.append(f"translator faults:    "
+                         f"{self.translation_faults} "
+                         f"({self.blocks_quarantined} quarantined, "
+                         f"{self.blocks_degraded} degraded to interp, "
+                         f"{self.interpreted_fallback_instrs} fallback "
+                         f"instrs)")
+        if self.integrity_faults_detected:
+            lines.append(f"cache corruptions:    "
+                         f"{self.integrity_faults_detected} healed "
+                         f"({self.integrity_retranslations} "
+                         f"retranslated)")
+        if self.hotspot_misfires:
+            lines.append(f"hotspot misfires:     {self.hotspot_misfires} "
+                         f"absorbed")
         if self.xltx86_invocations:
             lines.append(f"XLTx86 invocations:   {self.xltx86_invocations}")
         return "\n".join(lines)

@@ -102,7 +102,8 @@ class CoDesignedVM:
             max_superblock_instrs=config.max_superblock_instrs,
             enable_fusion=config.enable_fusion,
             enable_chaining=config.enable_chaining,
-            verify_translations=config.verify_translations)
+            verify_translations=config.verify_translations,
+            integrity_check_interval=config.integrity_check_interval)
         if config.mode == "be":
             # route the BBT's decode/crack step through the XLTx86 unit
             self.xlt_unit = XLTx86Unit()
@@ -161,6 +162,25 @@ class CoDesignedVM:
             report.missing_objects += expected - len(records)
         return report
 
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Full counter snapshot: runtime, warm-start and fault/recovery.
+
+        Extends :meth:`VMRuntime.stats` with the warm-start loader's
+        per-reason skip breakdown (``persist``: verifier-rejected,
+        fingerprint-stale, corrupt/undecodable, missing, duplicate) so
+        operational tooling can see exactly why records were
+        quarantined at boot.  Returns ``{}`` for non-VM configurations
+        or before an image is loaded.
+        """
+        if self.runtime is None:
+            return {}
+        stats = self.runtime.stats()
+        report = self.runtime.persist_report
+        stats["persist"] = report.to_dict() if report is not None else {}
+        return stats
+
     # -- execution ------------------------------------------------------------
 
     def run(self, max_instructions: int = 10_000_000,
@@ -206,6 +226,14 @@ class CoDesignedVM:
             persist_loaded=stats["persist_loaded"],
             persist_dropped=stats["persist_dropped"],
             persist_chains_restored=stats["persist_chains_restored"],
+            translation_faults=stats["translation_faults"],
+            blocks_quarantined=stats["blocks_quarantined"],
+            blocks_degraded=stats["blocks_degraded"],
+            interpreted_fallback_instrs=stats[
+                "interpreted_fallback_instrs"],
+            integrity_faults_detected=stats["integrity_faults_detected"],
+            integrity_retranslations=stats["integrity_retranslations"],
+            hotspot_misfires=stats["hotspot_misfires"],
             xltx86_invocations=(self.xlt_unit.invocations
                                 if self.xlt_unit else 0))
 

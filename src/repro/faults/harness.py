@@ -1,0 +1,229 @@
+"""Chaos harness: prove every fault class is survivable.
+
+The correctness bar is the paper's own premise — staged translation is
+an *optimization* over an always-correct emulation path, so no failure
+inside the translation stack may change architected results.  The
+harness makes that executable:
+
+1. run a workload fault-free (cold run + repository snapshot), recording
+   its architected outcome — registers, flags, output, exit code;
+2. mangle a copy of the repository with the disk fault classes, arm the
+   runtime fault classes, and run the same workload warm-started from
+   the damaged repository;
+3. the run must complete (no exception escapes) with an architected
+   outcome identical to step 1, all recovery recorded in the stats.
+
+``tools/chaos.py`` sweeps the full (workload x fault class x seed)
+matrix through this module; the hypothesis chaos test samples it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import vm_soft
+from repro.core.vm import CoDesignedVM
+from repro.faults.classes import FaultClass, make_fault
+from repro.faults.injector import FaultInjector
+from repro.faults.plane import injecting
+from repro.isa.x86lite.assembler import assemble
+from repro.persist import TranslationRepository
+
+DEFAULT_HOT_THRESHOLD = 50
+DEFAULT_MAX_INSTRUCTIONS = 2_000_000
+
+
+@dataclass
+class ArchOutcome:
+    """The architected result of one run — what faults must not change."""
+
+    exit_code: Optional[int]
+    output: List[object]
+    regs: List[int]
+    flags: List[bool]
+
+    @classmethod
+    def of(cls, vm: CoDesignedVM) -> "ArchOutcome":
+        state = vm.state
+        return cls(exit_code=state.exit_code,
+                   output=list(state.output),
+                   regs=list(state.regs),
+                   flags=[state.cf, state.zf, state.sf, state.of])
+
+    def diff(self, other: "ArchOutcome") -> List[str]:
+        problems = []
+        if self.exit_code != other.exit_code:
+            problems.append(f"exit code {other.exit_code!r} != "
+                            f"{self.exit_code!r}")
+        if self.output != other.output:
+            problems.append(f"output {other.output!r} != {self.output!r}")
+        if self.regs != other.regs:
+            problems.append(f"registers {other.regs!r} != {self.regs!r}")
+        if self.flags != other.flags:
+            problems.append(f"flags {other.flags!r} != {self.flags!r}")
+        return problems
+
+
+@dataclass
+class Baseline:
+    """Fault-free reference: outcome plus a pristine repository."""
+
+    name: str
+    source: str
+    hot_threshold: int
+    max_instructions: int
+    outcome: ArchOutcome
+    repo_dir: str
+    records_saved: int
+
+
+@dataclass
+class ChaosOutcome:
+    """One faulted run compared against its baseline."""
+
+    workload: str
+    faults: List[str]
+    seed: int
+    ok: bool
+    #: warm chaos runs boot from a mangled repository; cold runs skip
+    #: the warm start so translator/dispatch faults hit live translation
+    warm: bool = True
+    problems: List[str] = field(default_factory=list)
+    injected: Dict[str, int] = field(default_factory=dict)
+    disk_corruptions: int = 0
+    stats: Dict = field(default_factory=dict)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def format(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        fired = ", ".join(f"{name} x{count}"
+                          for name, count in sorted(self.injected.items())
+                          if count) or "none fired"
+        mode = "warm" if self.warm else "cold"
+        line = (f"{status}  {self.workload:14s} seed={self.seed:<4d} "
+                f"{mode} [{'+'.join(self.faults)}] ({fired})")
+        if self.problems:
+            line += "\n      " + "\n      ".join(self.problems)
+        return line
+
+
+def prepare_baseline(name: str, source: str, workdir: str,
+                     hot_threshold: int = DEFAULT_HOT_THRESHOLD,
+                     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                     ) -> Baseline:
+    """Fault-free cold run; snapshot its translations for warm starts."""
+    image = assemble(source)
+    vm = CoDesignedVM(vm_soft(), hot_threshold=hot_threshold)
+    vm.load(image)
+    vm.run(max_instructions=max_instructions)
+    repo_dir = str(Path(workdir) / f"baseline-{name}")
+    saved = vm.save_translations(repo_dir)
+    return Baseline(name=name, source=source,
+                    hot_threshold=hot_threshold,
+                    max_instructions=max_instructions,
+                    outcome=ArchOutcome.of(vm),
+                    repo_dir=repo_dir, records_saved=saved)
+
+
+def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
+                workdir: Optional[str] = None, warm: bool = True,
+                **fault_overrides) -> ChaosOutcome:
+    """One chaos run under an armed injector.
+
+    ``warm=True`` boots from a mangled copy of the baseline repository
+    (exercising the repository/loader fault surface); ``warm=False``
+    runs cold, so the BBT/SBT/hotspot/dispatch fault sites see live
+    translation work.  Either way the architected outcome must match
+    the fault-free baseline exactly.
+    """
+    injector = FaultInjector(seed, faults, **fault_overrides)
+    cleanup = workdir is None
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    disk_corruptions = 0
+    if warm:
+        repo_copy = Path(workdir) / f"faulted-{baseline.name}-{seed}"
+        if repo_copy.exists():
+            shutil.rmtree(repo_copy)
+        shutil.copytree(baseline.repo_dir, repo_copy)
+        disk_corruptions = injector.mangle_repository(repo_copy)
+
+    outcome = ChaosOutcome(workload=baseline.name,
+                           faults=list(faults), seed=seed, ok=False,
+                           warm=warm, disk_corruptions=disk_corruptions)
+    config = vm_soft().with_(integrity_check_interval=1)
+    vm = CoDesignedVM(config, hot_threshold=baseline.hot_threshold)
+    vm.load(assemble(baseline.source))
+    try:
+        with injecting(injector):
+            if warm:
+                vm.warm_start(TranslationRepository(repo_copy))
+            vm.run(max_instructions=baseline.max_instructions)
+    except Exception as error:   # noqa: BLE001 - the whole point
+        outcome.problems.append(
+            f"run did not complete: {type(error).__name__}: {error} "
+            f"({injector.summary()})")
+        return outcome
+    finally:
+        outcome.injected = dict(injector.injected)
+        outcome.stats = vm.stats()
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    outcome.problems = baseline.outcome.diff(ArchOutcome.of(vm))
+    outcome.ok = not outcome.problems
+    return outcome
+
+
+def modes_for(faults: Sequence[str]) -> List[bool]:
+    """Which chaos modes exercise a fault set (True=warm, False=cold).
+
+    Disk and repository/loader faults need a warm start to have any
+    surface at all; translator, hotspot and dispatch faults need a cold
+    run, because a fully warm boot never invokes the translators.
+    """
+    warm = cold = False
+    for fault in faults:
+        if not isinstance(fault, FaultClass):
+            fault = make_fault(fault)
+        if fault.disk or any(site.startswith(("repo.", "loader."))
+                             for site in fault.sites):
+            warm = True
+        if any(not site.startswith(("repo.", "loader."))
+               for site in fault.sites):
+            cold = True
+    modes = []
+    if warm:
+        modes.append(True)
+    if cold:
+        modes.append(False)
+    return modes or [True]
+
+
+def run_matrix(programs: Dict[str, str], fault_sets: Sequence[Sequence[str]],
+               seeds: Sequence[int],
+               hot_threshold: int = DEFAULT_HOT_THRESHOLD,
+               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               progress=None) -> List[ChaosOutcome]:
+    """The full chaos sweep: every workload x fault set x seed."""
+    outcomes: List[ChaosOutcome] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        for name, source in sorted(programs.items()):
+            baseline = prepare_baseline(
+                name, source, workdir, hot_threshold=hot_threshold,
+                max_instructions=max_instructions)
+            for fault_set in fault_sets:
+                for seed in seeds:
+                    for warm in modes_for(fault_set):
+                        outcome = run_faulted(baseline, fault_set, seed,
+                                              workdir=workdir, warm=warm)
+                        outcomes.append(outcome)
+                        if progress is not None:
+                            progress(outcome)
+    return outcomes

@@ -16,7 +16,9 @@ Pieces:
 * :mod:`repro.persist.repository` — the on-disk store (manifests,
   content-addressed objects, LRU eviction);
 * :mod:`repro.persist.loader` — boot-time re-materialization with
-  source re-fingerprinting and verifier screening.
+  source re-fingerprinting and verifier screening;
+* :mod:`repro.persist.fsck` — consistency check and repair of the
+  on-disk store (the ``repro cache fsck`` CLI).
 
 Typical use (see ``examples/warm_start.py`` and ``docs/persistence.md``)::
 
@@ -43,6 +45,7 @@ from repro.persist.format import (
     source_matches,
     validate_record,
 )
+from repro.persist.fsck import FsckReport, fsck_repository
 from repro.persist.loader import LoadReport, WarmStartLoader
 from repro.persist.repository import (
     GCReport,
@@ -52,6 +55,7 @@ from repro.persist.repository import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "FsckReport",
     "GCReport",
     "LoadReport",
     "PersistFormatError",
@@ -60,6 +64,7 @@ __all__ = [
     "WarmStartLoader",
     "capture_translations",
     "config_fingerprint",
+    "fsck_repository",
     "image_fingerprint",
     "materialize",
     "record_key",

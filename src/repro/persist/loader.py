@@ -27,11 +27,13 @@ steady state the cold VM ended in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Set, Tuple
 
 from dataclasses import replace as _replace
 
+from repro.faults.plane import fault_point
 from repro.isa.fusible.encoding import UopEncodeError, encode_stream
 from repro.isa.fusible.opcodes import UOp
 from repro.isa.fusible.registers import R_SCRATCH0
@@ -42,6 +44,8 @@ from repro.persist.format import (
     validate_record,
 )
 from repro.verify.verifier import verify_translation
+
+log = logging.getLogger("repro.persist")
 
 
 @dataclass
@@ -62,12 +66,21 @@ class LoadReport:
     duplicate_skipped: int = 0
     #: manifest entries whose object file was unreadable or missing
     missing_objects: int = 0
+    #: records that blew up the materialize/encode/install machinery
+    #: with an unforeseen error — quarantined (skipped), never fatal
+    undecodable: int = 0
 
     @property
     def dropped(self) -> int:
         return (self.stale_source + self.corrupt +
                 self.verifier_rejected + self.capacity_skipped +
-                self.missing_objects)
+                self.missing_objects + self.undecodable)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Flat counter dict (``CoDesignedVM.stats()['persist']``)."""
+        counters = asdict(self)
+        counters["dropped"] = self.dropped
+        return counters
 
     def format(self) -> str:
         lines = [f"warm start: {self.loaded}/{self.attempted} "
@@ -77,11 +90,12 @@ class LoadReport:
                  f"chains restored:  {self.chains_restored}"]
         if self.dropped:
             lines.append(
-                f"dropped:          {self.dropped} "
+                f"quarantined:      {self.dropped} record(s) skipped "
                 f"(stale {self.stale_source}, corrupt {self.corrupt}, "
                 f"verifier {self.verifier_rejected}, "
                 f"capacity {self.capacity_skipped}, "
-                f"missing {self.missing_objects})")
+                f"missing {self.missing_objects}, "
+                f"undecodable {self.undecodable})")
         return "\n".join(lines)
 
 
@@ -132,8 +146,10 @@ class WarmStartLoader:
             report.attempted += 1
             try:
                 validate_record(record)
-            except PersistFormatError:
+            except PersistFormatError as error:
                 report.corrupt += 1
+                log.warning("warm start: corrupt record skipped: %s",
+                            error)
                 continue
             kind, entry = record["kind"], record["entry"]
             if (kind, entry) in seen:
@@ -154,16 +170,32 @@ class WarmStartLoader:
                     translation.uops = uops
                     translation.counter_addr = new_counter
                 data = encode_stream(uops)
-            except (PersistFormatError, UopEncodeError):
+            except (PersistFormatError, UopEncodeError) as error:
                 report.corrupt += 1
+                log.warning("warm start: record %s@%#x failed to "
+                            "materialize: %s", kind, entry, error)
+                continue
+            except (AssertionError, KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                # a record the format layer accepted but the rebuild
+                # machinery cannot digest: quarantine it, keep booting
+                report.undecodable += 1
+                log.warning("warm start: record %s@%#x is undecodable "
+                            "(%s: %s); skipped", kind, entry,
+                            type(error).__name__, error)
                 continue
             if not cache.would_fit(len(data)):
                 report.capacity_skipped += 1
                 continue
             # the PR-1 rule-pack gates every install: a record that
             # breaks an invariant is dropped, never executed
-            if not verify_translation(translation).ok:
+            # (fault_point lets chaos runs force a false positive)
+            if fault_point("loader.verify", entry=entry, kind=kind) \
+                    or not verify_translation(translation).ok:
                 report.verifier_rejected += 1
+                log.warning("warm start: record %s@%#x rejected by "
+                            "the verifier; skipped", kind, entry)
                 continue
             directory.install(data, translation)
             seen.add((kind, entry))

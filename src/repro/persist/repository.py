@@ -18,21 +18,39 @@ Eviction is LRU over a logical clock: every save or load touch bumps the
 repository clock and stamps the objects involved.  :meth:`gc` drops the
 least-recently-used objects until the store fits a byte budget, then
 strips dangling references from every manifest.
+
+Crash safety
+------------
+Every file the repository writes — meta, manifests, objects — goes
+through a journaled two-step (write ``<name>.tmp``, then atomic
+``os.replace``), so a crash mid-write leaves either the old content or
+a stray ``.tmp`` file, never a torn JSON document.  Reads treat any
+unreadable or invalid file as absent; a corrupt or missing
+``meta.json`` is *rebuilt* from the objects directory instead of
+wiping the store.  I/O errors during save/load are absorbed
+(``io_errors`` counts them): a failed object write just drops that
+record from the manifest, a failed LRU stamp loses nothing but
+recency.  :meth:`fsck` detects, quarantines and repairs whatever
+damage accumulates anyway (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.faults.plane import fault_point
 from repro.persist.format import (
     FORMAT_VERSION,
     PersistFormatError,
     validate_record,
 )
+
+log = logging.getLogger("repro.persist")
 
 
 @dataclass
@@ -86,28 +104,87 @@ class TranslationRepository:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.manifests_dir = self.root / "manifests"
+        self.quarantine_dir = self.root / "quarantine"
         self.meta_path = self.root / "meta.json"
+        #: I/O failures absorbed instead of propagated (this process)
+        self.io_errors = 0
+        #: times meta.json had to be rebuilt from the objects dir
+        self.meta_recoveries = 0
+
+    # -- journaled I/O ------------------------------------------------------
+
+    def _write_json(self, path: Path, payload: Dict,
+                    indent: Optional[int] = None) -> bool:
+        """Journaled write: tmp file + atomic rename.
+
+        Returns False (and counts the failure) instead of raising, so a
+        full disk or a flaky device degrades to a smaller/staler store,
+        never a crashed VM or a torn document.
+        """
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            fault_point("repo.write", path=str(path))
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=indent, sort_keys=True)
+            os.replace(tmp, path)
+            return True
+        except OSError as error:
+            self.io_errors += 1
+            log.warning("repository write of %s failed: %s", path, error)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
 
     # -- meta handling ------------------------------------------------------
 
     def _load_meta(self) -> Dict:
         try:
+            fault_point("repo.read", path=str(self.meta_path))
             with open(self.meta_path) as handle:
                 meta = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            meta = {}
-        if meta.get("format") != FORMAT_VERSION:
-            meta = {"format": FORMAT_VERSION, "clock": 0, "objects": {}}
+            damaged = not isinstance(meta, dict) or \
+                meta.get("format") != FORMAT_VERSION
+        except (OSError, ValueError):
+            # missing (fresh repo, or crash between object and meta
+            # writes), unreadable, or torn: rebuild from ground truth
+            meta, damaged = {}, True
+        if damaged or not isinstance(meta, dict):
+            # torn write / bit rot / version skew: the objects are the
+            # ground truth, the index is reconstructable state
+            meta = self._rebuild_meta()
+        meta.setdefault("format", FORMAT_VERSION)
         meta.setdefault("clock", 0)
         meta.setdefault("objects", {})
         return meta
 
-    def _write_meta(self, meta: Dict) -> None:
+    def _rebuild_meta(self) -> Dict:
+        """Reconstruct the object index by scanning the objects dir."""
+        meta = {"format": FORMAT_VERSION, "clock": 0, "objects": {}}
+        if not self.objects_dir.is_dir() or \
+                not any(self.objects_dir.glob("*.json")):
+            return meta    # fresh/empty repo: nothing to recover
+        self.meta_recoveries += 1
+        for path in sorted(self.objects_dir.glob("*.json")):
+            record = self._read_object(path.stem)
+            if record is None:
+                continue        # corrupt object: left for fsck
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            meta["objects"][record["key"]] = {
+                "last_used": 0, "size": size,
+                "kind": record["kind"], "entry": record["entry"]}
+        log.warning("meta.json was missing or corrupt; rebuilt index "
+                    "with %d object(s) from %s",
+                    len(meta["objects"]), self.objects_dir)
+        return meta
+
+    def _write_meta(self, meta: Dict) -> bool:
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.meta_path.with_suffix(".tmp")
-        with open(tmp, "w") as handle:
-            json.dump(meta, handle, indent=1, sort_keys=True)
-        os.replace(tmp, self.meta_path)
+        return self._write_json(self.meta_path, meta, indent=1)
 
     @staticmethod
     def _manifest_name(config_fp: str, image_fp: str) -> str:
@@ -144,11 +221,21 @@ class TranslationRepository:
                 continue
             key = record["key"]
             path = self._object_path(key)
-            if not path.exists():
-                with open(path, "w") as handle:
-                    json.dump(record, handle)
+            try:
+                exists = path.exists()
+            except OSError:
+                exists = False
+            if not exists:
+                if not self._write_json(path, record):
+                    continue    # failed write: leave it out of the
+                    #             manifest, the rest of the save stands
                 saved += 1
-            size = path.stat().st_size
+            try:
+                size = path.stat().st_size
+            except OSError as error:
+                self.io_errors += 1
+                log.warning("cannot stat %s: %s", path, error)
+                continue
             meta["objects"][key] = {"last_used": clock, "size": size,
                                     "kind": record["kind"],
                                     "entry": record["entry"]}
@@ -162,8 +249,8 @@ class TranslationRepository:
             "saved_clock": clock,
             "entries": keys,
         }
-        with open(self._manifest_path(config_fp, image_fp), "w") as handle:
-            json.dump(manifest, handle, indent=1)
+        self._write_json(self._manifest_path(config_fp, image_fp),
+                         manifest, indent=1)
         self._write_meta(meta)
         return saved
 
@@ -204,10 +291,14 @@ class TranslationRepository:
 
     def _read_manifest(self, config_fp: str,
                        image_fp: str) -> Optional[Dict]:
+        path = self._manifest_path(config_fp, image_fp)
         try:
-            with open(self._manifest_path(config_fp, image_fp)) as handle:
+            fault_point("repo.read", path=str(path))
+            with open(path) as handle:
                 manifest = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict):
             return None
         if manifest.get("format") != FORMAT_VERSION:
             return None
@@ -217,10 +308,12 @@ class TranslationRepository:
         return manifest
 
     def _read_object(self, key: str) -> Optional[Dict]:
+        path = self._object_path(key)
         try:
-            with open(self._object_path(key)) as handle:
+            fault_point("repo.read", path=str(path))
+            with open(path) as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
             return None
         try:
             validate_record(record)
@@ -243,7 +336,7 @@ class TranslationRepository:
                 try:
                     with open(path) as handle:
                         manifest = json.load(handle)
-                except (OSError, json.JSONDecodeError):
+                except (OSError, ValueError):
                     continue
                 keys = manifest.get("entries", [])
                 kinds = [meta["objects"].get(key, {}).get("kind")
@@ -286,6 +379,18 @@ class TranslationRepository:
         report.remaining_bytes = total
         return report
 
+    # -- fsck ---------------------------------------------------------------
+
+    def fsck(self, repair: bool = False):
+        """Check (and optionally repair) the on-disk store.
+
+        See :func:`repro.persist.fsck.fsck_repository`; corrupt objects
+        are quarantined under ``<root>/quarantine/``, the index and
+        manifests are reconciled against the surviving objects.
+        """
+        from repro.persist.fsck import fsck_repository
+        return fsck_repository(self, repair=repair)
+
     def _strip_manifest_refs(self, evicted) -> None:
         if not self.manifests_dir.is_dir():
             return
@@ -293,7 +398,7 @@ class TranslationRepository:
             try:
                 with open(path) as handle:
                     manifest = json.load(handle)
-            except (OSError, json.JSONDecodeError):
+            except (OSError, ValueError):
                 continue
             entries = manifest.get("entries", [])
             kept = [key for key in entries if key not in evicted]
@@ -301,7 +406,9 @@ class TranslationRepository:
                 continue
             if kept:
                 manifest["entries"] = kept
-                with open(path, "w") as handle:
-                    json.dump(manifest, handle, indent=1)
+                self._write_json(path, manifest, indent=1)
             else:
-                path.unlink()
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.faults.plane import fault_point
 from repro.isa.fusible.encoding import encode_stream, stream_length
 from repro.isa.fusible.microop import MicroOp
 from repro.memory.address_space import AddressSpace
@@ -111,6 +112,7 @@ class BasicBlockTranslator:
 
     def translate(self, entry: int) -> Translation:
         """Translate the basic block at architected address ``entry``."""
+        fault_point("translate.bbt", entry=entry)
         instrs = scan_block(self.memory, entry, self.max_block_instrs)
         translation = Translation(entry=entry, kind="bbt",
                                   x86_addrs=[entry])

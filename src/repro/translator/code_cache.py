@@ -16,8 +16,9 @@ lookup entries and profiling state.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.isa.fusible.encoding import encode_uop
 from repro.isa.fusible.microop import MicroOp
@@ -67,6 +68,8 @@ class Translation:
     side_table: Dict[int, int] = field(default_factory=dict)
     counter_addr: Optional[int] = None
     uops: List[MicroOp] = field(default_factory=list)   # for introspection
+    #: masked digest of the installed bytes (integrity checking)
+    install_checksum: Optional[str] = None
 
     @property
     def fused_fraction(self) -> float:
@@ -74,6 +77,29 @@ class Translation:
         if not self.uop_count:
             return 0.0
         return 2.0 * self.fused_pairs / self.uop_count
+
+    def integrity_mask(self) -> List[int]:
+        """Byte offsets of the runtime-patchable linkage words.
+
+        Chaining overwrites the first micro-op of each exit stub, and a
+        superseding SBT copy overwrites the first word at the entry
+        (the BBT->SBT redirect).  Those words are VMM-owned and legally
+        mutate after install, so the integrity checksum masks them; the
+        rest of the translation is immutable and fully covered.
+        """
+        offsets = [0]
+        offsets.extend(stub.stub_addr - self.native_addr
+                       for stub in self.exits)
+        return offsets
+
+
+def masked_digest(data: bytes, mask_offsets: Iterable[int]) -> str:
+    """Digest of ``data`` with each masked word (4 bytes) zeroed."""
+    buf = bytearray(data)
+    for offset in mask_offsets:
+        for index in range(max(offset, 0), min(offset + 4, len(buf))):
+            buf[index] = 0
+    return hashlib.sha256(bytes(buf)).hexdigest()
 
 
 class CodeCache:
@@ -117,6 +143,8 @@ class CodeCache:
         self.memory.write(addr, data)
         self._next += len(data)
         translation.native_len = len(data)
+        translation.install_checksum = masked_digest(
+            data, translation.integrity_mask())
         self.translations.append(translation)
         self.bytes_installed_total += len(data)
         return addr
@@ -309,6 +337,72 @@ class TranslationDirectory:
     def flush_all(self) -> None:
         self.flush("bbt")
         self.flush("sbt")
+
+    # -- integrity ---------------------------------------------------------
+
+    def verify_integrity(self, translation: Translation) -> bool:
+        """Whether the installed bytes still match the install checksum.
+
+        The runtime-patchable linkage words (chain/redirect sites) are
+        masked out, so legal chaining and redirection never trip this;
+        any other byte differing from what :meth:`install` wrote means
+        the cache copy is corrupt and must not be executed.
+        """
+        if translation.install_checksum is None or \
+                translation.native_len == 0:
+            return True
+        data = self.memory.read(translation.native_addr,
+                                translation.native_len)
+        return masked_digest(data, translation.integrity_mask()) == \
+            translation.install_checksum
+
+    def evict(self, translation: Translation) -> None:
+        """Unlink one translation (detected corruption) without a flush.
+
+        The lookup entry, stubs, side-table entries, pending chains and
+        redirects involving the translation are all removed, and stubs
+        elsewhere that were chained into its body are un-chained so
+        execution falls back to the lookup table — exactly the flush
+        recovery, scoped to one victim.  Its cache bytes are abandoned
+        (bump allocation cannot reclaim holes); a later wholesale flush
+        reclaims them.
+        """
+        cache = self.cache_for(translation.kind)
+        if translation in cache.translations:
+            cache.translations.remove(translation)
+        low = translation.native_addr
+        high = translation.native_addr + translation.native_len
+        lookup = (self._bbt_lookup if translation.kind == "bbt"
+                  else self._sbt_lookup)
+        if lookup.get(translation.entry) is translation:
+            del lookup[translation.entry]
+        for stub in translation.exits:
+            self._stub_by_addr.pop(stub.stub_addr, None)
+        for native_addr in translation.side_table:
+            self._side_by_addr.pop(native_addr, None)
+        # drop this translation's own pending chain requests
+        for target in list(self._pending_chains):
+            remaining = [stub for stub in self._pending_chains[target]
+                         if not low <= stub.stub_addr < high]
+            if remaining:
+                self._pending_chains[target] = remaining
+            else:
+                del self._pending_chains[target]
+        # un-chain surviving stubs that jump into the evicted body
+        for stub, _owner in self._stub_by_addr.values():
+            if stub.chained_to is not None and \
+                    low <= stub.chained_to < high:
+                self._unpatch(stub)
+        # redirects: an evicted BBT copy takes its redirect record with
+        # it; an evicted SBT copy must restore the BBT entry it patched
+        for native_addr in list(self._redirects):
+            bbt_copy, saved = self._redirects[native_addr]
+            if translation.kind == "bbt" and bbt_copy is translation:
+                del self._redirects[native_addr]
+            elif translation.kind == "sbt" and \
+                    bbt_copy.entry == translation.entry:
+                self.memory.write(native_addr, saved)
+                del self._redirects[native_addr]
 
     def _unpatch(self, stub: ExitStub) -> None:
         """Restore a stub head to its original LUI (undo chaining)."""

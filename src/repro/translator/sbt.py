@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.faults.plane import fault_point
 from repro.isa.fusible.encoding import encode_stream, stream_length
 from repro.isa.fusible.microop import MicroOp
 from repro.isa.fusible.opcodes import (
@@ -95,6 +96,7 @@ class SuperblockTranslator:
 
     def translate(self, seed: int, edges) -> Translation:
         """Form a superblock at ``seed`` and install its translation."""
+        fault_point("translate.sbt", entry=seed)
         superblock = form_superblock(self.memory, seed, edges,
                                      max_instrs=self.max_instrs,
                                      bias=self.bias)

@@ -11,7 +11,18 @@ from repro.vmm.precise_state import (
     copy_native_to_arch,
 )
 from repro.vmm.profiling import EdgeProfile, SoftwareProfiler
-from repro.vmm.runtime import VMRuntime, VMRuntimeError
+from repro.vmm.quarantine import QuarantineEntry, TranslationQuarantine
+from repro.vmm.runtime import (
+    DispatchBudgetExhausted,
+    NativeExecutionFault,
+    UopBudgetExhausted,
+    VMRuntime,
+    VMRuntimeError,
+    VMServiceFault,
+)
 
-__all__ = ["EdgeProfile", "SoftwareProfiler", "VMRuntime", "VMRuntimeError",
+__all__ = ["DispatchBudgetExhausted", "EdgeProfile",
+           "NativeExecutionFault", "QuarantineEntry", "SoftwareProfiler",
+           "TranslationQuarantine", "UopBudgetExhausted", "VMRuntime",
+           "VMRuntimeError", "VMServiceFault",
            "copy_arch_to_native", "copy_native_to_arch"]

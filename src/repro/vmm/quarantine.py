@@ -1,0 +1,97 @@
+"""Quarantine for blocks whose translation keeps failing.
+
+A translator failure (a real codegen bug, an injected fault, garbage
+reached through a hotspot-detector misfire) must never kill the VM:
+the interpreter can always execute the block.  But retrying the broken
+translation on every dispatch would melt the startup budget the paper
+is about, so failures are metered:
+
+* each failure quarantines the (entry, kind) pair with **exponential
+  backoff**, measured in dispatches — the natural clock of the runtime
+  and deterministic across runs;
+* while quarantined, the block is emulated (BBT misses fall back to the
+  interpreter; SBT misses simply keep the BBT copy running);
+* after ``max_retries`` failures the block is **degraded
+  permanently**: interpretation (or the BBT copy) forever, translation
+  never attempted again.
+
+This is graceful degradation in the paper's sense — the staged pipeline
+sheds an optimization stage per-block instead of crashing, and the
+stats record exactly what was shed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined (entry, kind) pair."""
+
+    entry: int
+    kind: str                       # 'bbt' | 'sbt'
+    failures: int = 0
+    #: dispatch count at which the next retry is allowed
+    retry_at: int = 0
+    degraded: bool = False          # permanently given up
+    last_error: str = ""
+
+
+@dataclass
+class TranslationQuarantine:
+    """Bounded-retry ledger with exponential backoff."""
+
+    max_retries: int = 3
+    #: backoff after the first failure, in dispatches (doubles per
+    #: failure: 16, 32, 64, ...)
+    backoff_dispatches: int = 16
+    _entries: Dict[Tuple[int, str], QuarantineEntry] = \
+        field(default_factory=dict)
+
+    def may_translate(self, entry: int, kind: str, dispatch: int) -> bool:
+        """Whether a translation attempt is currently allowed."""
+        record = self._entries.get((entry, kind))
+        if record is None:
+            return True
+        if record.degraded:
+            return False
+        return dispatch >= record.retry_at
+
+    def record_failure(self, entry: int, kind: str, dispatch: int,
+                       error: BaseException) -> QuarantineEntry:
+        """Register one failed attempt; escalates to degradation."""
+        record = self._entries.setdefault(
+            (entry, kind), QuarantineEntry(entry=entry, kind=kind))
+        record.failures += 1
+        record.last_error = f"{type(error).__name__}: {error}"
+        if record.failures >= self.max_retries:
+            record.degraded = True
+        else:
+            backoff = self.backoff_dispatches * \
+                (1 << (record.failures - 1))
+            record.retry_at = dispatch + backoff
+        return record
+
+    def record_success(self, entry: int, kind: str) -> None:
+        """A retry succeeded: lift the quarantine."""
+        self._entries.pop((entry, kind), None)
+
+    def get(self, entry: int, kind: str) -> Optional[QuarantineEntry]:
+        return self._entries.get((entry, kind))
+
+    @property
+    def quarantined(self) -> int:
+        """Pairs currently under backoff (not yet degraded)."""
+        return sum(1 for record in self._entries.values()
+                   if not record.degraded)
+
+    @property
+    def degraded(self) -> int:
+        """Pairs permanently degraded to the emulation fallback."""
+        return sum(1 for record in self._entries.values()
+                   if record.degraded)
+
+    def entries(self):
+        return list(self._entries.values())

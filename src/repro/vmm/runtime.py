@@ -27,8 +27,10 @@ configuration equivalence tests pin down.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional, Union
 
+from repro.faults.plane import fault_point
 from repro.interp.interpreter import Interpreter
 from repro.isa.fusible.machine import (
     ExitEvent,
@@ -47,13 +49,59 @@ from repro.translator.code_cache import (
 from repro.translator.sbt import SuperblockTranslator
 from repro.vmm.precise_state import copy_arch_to_native, copy_native_to_arch
 from repro.vmm.profiling import SoftwareProfiler
+from repro.vmm.quarantine import TranslationQuarantine
+
+log = logging.getLogger("repro.vmm")
 
 #: Counter value used to disable an already-promoted block's profiling.
 _COUNTER_DISABLED = 0x4000_0000
 
 
 class VMRuntimeError(Exception):
-    """Raised on budget exhaustion or inconsistent VM state."""
+    """Base for runtime failures; carries the dispatch context.
+
+    Every subclass records the architected pc, the emulation mode and
+    the dispatch count at the failure, so a report names *where in the
+    program* and *which execution strategy* broke, not just what.
+    """
+
+    def __init__(self, message: str, *, pc: Optional[int] = None,
+                 mode: Optional[str] = None,
+                 dispatches: Optional[int] = None,
+                 native_pc: Optional[int] = None) -> None:
+        self.pc = pc
+        self.mode = mode
+        self.dispatches = dispatches
+        self.native_pc = native_pc
+        context = []
+        if pc is not None:
+            context.append(f"pc={pc:#x}")
+        if native_pc is not None:
+            context.append(f"native_pc={native_pc:#x}")
+        if mode is not None:
+            context.append(f"mode={mode}")
+        if dispatches is not None:
+            context.append(f"dispatch={dispatches}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
+class UopBudgetExhausted(VMRuntimeError):
+    """The micro-op budget ran out before the program halted."""
+
+
+class DispatchBudgetExhausted(VMRuntimeError):
+    """The dispatch budget ran out before the program halted."""
+
+
+class NativeExecutionFault(VMRuntimeError):
+    """The native machine faulted running translated code."""
+
+
+class VMServiceFault(VMRuntimeError):
+    """A VMCALL arrived that the VMM cannot service (unknown service
+    number, or no side-table entry mapping it back to x86 state)."""
 
 
 class VMRuntime:
@@ -70,7 +118,9 @@ class VMRuntime:
                  enable_fusion: bool = True,
                  enable_chaining: bool = True,
                  max_block_instrs: int = 64,
-                 verify_translations: bool = False) -> None:
+                 verify_translations: bool = False,
+                 integrity_check_interval: int = 0,
+                 quarantine_max_retries: int = 3) -> None:
         if initial_emulation not in ("bbt", "interp", "x86-mode"):
             raise ValueError(f"bad initial emulation {initial_emulation!r}")
         self.state = state
@@ -99,6 +149,15 @@ class VMRuntime:
             verify=verify_translations)
         self.interp = Interpreter(state)
 
+        #: failed-translation ledger: bounded retry, then permanent
+        #: degradation to the emulation fallback (never a crash)
+        self.quarantine = TranslationQuarantine(
+            max_retries=quarantine_max_retries)
+        #: sweep the code caches for corruption every N dispatches
+        #: (0 = off; enabled by chaos runs and the config debug knob)
+        self.integrity_check_interval = integrity_check_interval
+        self._dispatches_since_sweep = 0
+
         # statistics
         self.dispatches = 0
         self.vm_exits = 0
@@ -119,6 +178,19 @@ class VMRuntime:
         self._sbt_entries_ever: set = set()
         #: warm-start outcome, set by the persist loader (None = cold)
         self.persist_report = None
+        # fault / recovery counters (the self-healing story)
+        #: translator invocations that raised (real bug or injected)
+        self.translation_faults = 0
+        #: instructions emulated because a block's translation is
+        #: quarantined or degraded (the graceful-degradation path)
+        self.interpreted_fallback_instrs = 0
+        #: corrupt code-cache copies detected by the integrity sweep
+        self.integrity_faults_detected = 0
+        #: blocks translated again after a corruption eviction
+        self.integrity_retranslations = 0
+        #: hotspot candidates that could not be optimized (bogus entry)
+        self.hotspot_misfires = 0
+        self._integrity_evicted_entries: set = set()
 
     # -- top-level run loops ------------------------------------------------
 
@@ -131,23 +203,35 @@ class VMRuntime:
             self._run_interpretive(max_uops, max_dispatches)
 
     def _run_translated(self, max_uops: int, max_dispatches: int) -> None:
-        """VM.soft / VM.be style: everything runs out of the code caches."""
+        """VM.soft / VM.be style: everything runs out of the code caches.
+
+        Almost: a block whose translation is quarantined or permanently
+        degraded is emulated by the interpreter instead — translation is
+        an optimization, never a prerequisite for forward progress.
+        """
         budget = max_uops
         for _ in range(max_dispatches):
             if self.state.halted:
                 return
             self.dispatches += 1
+            self._pre_dispatch()
             translation = self._lookup_or_translate(self.state.eip)
+            if translation is None:       # quarantined: emulate the block
+                self._interpret_fallback_block()
+                continue
             copy_arch_to_native(self.state, self.machine)
             try:
                 event = self.machine.run(translation.native_addr,
                                          max_uops=budget)
             except NativeMachineError as exc:
-                raise VMRuntimeError(str(exc)) from exc
+                raise NativeExecutionFault(
+                    str(exc), **self._error_context()) from exc
             budget -= self._service(event, budget)
             if budget <= 0:
-                raise VMRuntimeError("micro-op budget exhausted")
-        raise VMRuntimeError("dispatch budget exhausted")
+                raise UopBudgetExhausted("micro-op budget exhausted",
+                                         **self._error_context())
+        raise DispatchBudgetExhausted("dispatch budget exhausted",
+                                      **self._error_context())
 
     def _run_interpretive(self, max_uops: int,
                           max_dispatches: int) -> None:
@@ -158,6 +242,7 @@ class VMRuntime:
             if self.state.halted:
                 return
             self.dispatches += 1
+            self._pre_dispatch()
             entry = self.state.eip
             sbt_translation = self.directory.lookup(entry)
             if sbt_translation is not None:
@@ -166,10 +251,13 @@ class VMRuntime:
                     event = self.machine.run(sbt_translation.native_addr,
                                              max_uops=budget)
                 except NativeMachineError as exc:
-                    raise VMRuntimeError(str(exc)) from exc
+                    raise NativeExecutionFault(
+                        str(exc), **self._error_context()) from exc
                 budget -= self._service(event, budget)
                 if budget <= 0:
-                    raise VMRuntimeError("micro-op budget exhausted")
+                    raise UopBudgetExhausted(
+                        "micro-op budget exhausted",
+                        **self._error_context())
                 continue
             self.profiler.record_entry(entry)
             self._maybe_optimize_hotspots()
@@ -184,45 +272,162 @@ class VMRuntime:
                 if self.directory.has_translation(self.state.eip):
                     break
         else:
-            raise VMRuntimeError("dispatch budget exhausted")
+            raise DispatchBudgetExhausted("dispatch budget exhausted",
+                                          **self._error_context())
+
+    def _error_context(self) -> dict:
+        return {"pc": self.state.eip, "mode": self.initial_emulation,
+                "dispatches": self.dispatches}
+
+    # -- self-healing ----------------------------------------------------------
+
+    def _pre_dispatch(self) -> None:
+        """Dispatch-boundary housekeeping: fault hooks + integrity sweep."""
+        fault_point("dispatch", directory=self.directory, runtime=self)
+        if not self.integrity_check_interval:
+            return
+        self._dispatches_since_sweep += 1
+        if self._dispatches_since_sweep >= self.integrity_check_interval:
+            self._dispatches_since_sweep = 0
+            self._integrity_sweep()
+
+    def _integrity_sweep(self) -> None:
+        """Detect and evict corrupted code-cache copies.
+
+        A translation whose immutable body no longer matches its install
+        checksum is unlinked before it can be dispatched (or reached
+        through a chain); its entry re-translates on demand like any
+        cold block — detect-and-retranslate, never execute rot.
+        """
+        directory = self.directory
+        for cache in (directory.bbt_cache, directory.sbt_cache):
+            for translation in list(cache.translations):
+                if directory.verify_integrity(translation):
+                    continue
+                self.integrity_faults_detected += 1
+                self._integrity_evicted_entries.add(
+                    (translation.entry, translation.kind))
+                log.warning(
+                    "code-cache corruption: %s copy of %#x evicted "
+                    "(will retranslate on demand)",
+                    translation.kind, translation.entry)
+                directory.evict(translation)
+
+    def _interpret_fallback_block(self) -> None:
+        """Emulate one basic block whose translation is unavailable.
+
+        Mirrors the interpretive strategy's inner loop: step precisely
+        up to and including the block's control transfer, or until a
+        translated successor exists.  Architected results are identical
+        to the translated path by construction (the cross-configuration
+        equivalence tests pin this down).
+        """
+        while not self.state.halted:
+            instr = self.interp.step()
+            self.instructions_interpreted += 1
+            self.interpreted_fallback_instrs += 1
+            if instr.is_control_transfer:
+                break
+            if self.directory.has_translation(self.state.eip):
+                break
 
     # -- translation policy ----------------------------------------------------
 
-    def _lookup_or_translate(self, entry: int) -> Translation:
+    def _lookup_or_translate(self, entry: int) -> Optional[Translation]:
+        """The installed translation for ``entry``, translating on miss.
+
+        Returns None when the entry is quarantined (recent translator
+        failure, bounded-backoff retry pending) or permanently degraded
+        — the caller must emulate the block instead.  Any translator
+        failure other than cache pressure lands in the quarantine; it
+        never propagates out of the dispatch loop.
+        """
         translation = self.directory.lookup(entry)
         if translation is not None:
             return translation
+        if not self.quarantine.may_translate(entry, "bbt",
+                                             self.dispatches):
+            return None
         try:
-            translation = self.bbt.translate(entry)
-        except CodeCacheFull:
-            evicted = self.directory.flush("bbt")
-            self.translations_lost_in_flushes += len(evicted)
-            self.bbt_full_flushes += 1
-            translation = self.bbt.translate(entry)
+            try:
+                translation = self.bbt.translate(entry)
+            except CodeCacheFull:
+                evicted = self.directory.flush("bbt")
+                self.translations_lost_in_flushes += len(evicted)
+                self.bbt_full_flushes += 1
+                translation = self.bbt.translate(entry)
+        except (AssertionError, KeyboardInterrupt, SystemExit):
+            raise           # verifier findings and aborts are not faults
+        except VMRuntimeError:
+            raise
+        except Exception as exc:   # noqa: BLE001 - degrade, never crash
+            self._note_translation_fault(entry, "bbt", exc)
+            return None
+        self.quarantine.record_success(entry, "bbt")
+        if (entry, "bbt") in self._integrity_evicted_entries:
+            self._integrity_evicted_entries.discard((entry, "bbt"))
+            self.integrity_retranslations += 1
         if entry in self._bbt_entries_ever:
             self.bbt_retranslations += 1
         self._bbt_entries_ever.add(entry)
         return translation
 
     def _optimize(self, entry: int) -> Optional[Translation]:
-        """Run the SBT on a newly hot region."""
+        """Run the SBT on a newly hot region.
+
+        SBT failure is pure graceful degradation: the BBT copy (or the
+        interpreter) keeps running the region; retries are metered by
+        the quarantine and eventually given up on for good.
+        """
         if self.directory.has_sbt(entry):
+            return None
+        if not self.quarantine.may_translate(entry, "sbt",
+                                             self.dispatches):
             return None
         edges = getattr(self.profiler, "edges", _NO_EDGES)
         try:
-            translation = self.sbt.translate(entry, edges)
-        except CodeCacheFull:
-            evicted = self.directory.flush("sbt")
-            self.translations_lost_in_flushes += len(evicted)
-            self.sbt_full_flushes += 1
-            self.sbt_retranslations += 1
-            translation = self.sbt.translate(entry, edges)
+            try:
+                translation = self.sbt.translate(entry, edges)
+            except CodeCacheFull:
+                evicted = self.directory.flush("sbt")
+                self.translations_lost_in_flushes += len(evicted)
+                self.sbt_full_flushes += 1
+                self.sbt_retranslations += 1
+                translation = self.sbt.translate(entry, edges)
+        except (AssertionError, KeyboardInterrupt, SystemExit):
+            raise
+        except VMRuntimeError:
+            raise
+        except Exception as exc:   # noqa: BLE001 - degrade, never crash
+            self._note_translation_fault(entry, "sbt", exc)
+            return None
+        self.quarantine.record_success(entry, "sbt")
+        if (entry, "sbt") in self._integrity_evicted_entries:
+            self._integrity_evicted_entries.discard((entry, "sbt"))
+            self.integrity_retranslations += 1
         if entry in self._sbt_entries_ever:
             self.hotspot_retranslations += 1
         self._sbt_entries_ever.add(entry)
         return translation
 
+    def _note_translation_fault(self, entry: int, kind: str,
+                                error: Exception) -> None:
+        self.translation_faults += 1
+        record = self.quarantine.record_failure(entry, kind,
+                                                self.dispatches, error)
+        log.warning(
+            "%s translation of %#x failed (%s: %s); %s", kind, entry,
+            type(error).__name__, error,
+            "degraded to emulation permanently" if record.degraded
+            else f"retry after dispatch {record.retry_at}")
+
     def _maybe_optimize_hotspots(self) -> None:
+        bogus = fault_point("hotspot.candidate")
+        if bogus is not None:
+            # a misfiring detector reported a never-executed address;
+            # the attempt must fail into the quarantine harmlessly
+            self.hotspot_misfires += 1
+            self._optimize(bogus)
         while True:
             hot_entry = self.profiler.take_hot()
             if hot_entry is None:
@@ -260,13 +465,17 @@ class VMRuntime:
                 resumed = self.machine.run(event.resume_pc,
                                            max_uops=remaining)
             except NativeMachineError as exc:
-                raise VMRuntimeError(str(exc)) from exc
+                raise NativeExecutionFault(
+                    str(exc), native_pc=event.resume_pc,
+                    **self._error_context()) from exc
             return consumed + self._service(resumed, remaining)
         if service is VMService.INTERP_ONE:
             self.interp_one_calls += 1
             self._service_interp_one(event)
             return consumed
-        raise VMRuntimeError(f"unknown VMCALL service {event.value}")
+        raise VMServiceFault(f"unknown VMCALL service {event.value}",
+                             native_pc=event.native_pc,
+                             **self._error_context())
 
     def _note_exit_edge(self, event: ExitEvent, target: int) -> None:
         """Record the control edge and chain the exiting stub."""
@@ -285,9 +494,9 @@ class VMRuntime:
         """A BBT block's countdown counter hit zero: apply hot policy."""
         resolved = self.directory.resolve_side_table(event.native_pc)
         if resolved is None:
-            raise VMRuntimeError(
-                f"PROFILE vmcall without side-table entry at "
-                f"{event.native_pc:#x}")
+            raise VMServiceFault(
+                "PROFILE vmcall without side-table entry",
+                native_pc=event.native_pc, **self._error_context())
         entry, translation = resolved
         self.profiler.record_entry(entry, self.hot_threshold)
         self._maybe_optimize_hotspots()
@@ -303,9 +512,9 @@ class VMRuntime:
         """
         resolved = self.directory.resolve_side_table(event.native_pc)
         if resolved is None:
-            raise VMRuntimeError(
-                f"INTERP_ONE vmcall without side-table entry at "
-                f"{event.native_pc:#x}")
+            raise VMServiceFault(
+                "INTERP_ONE vmcall without side-table entry",
+                native_pc=event.native_pc, **self._error_context())
         x86_addr, _translation = resolved
         self.state.eip = x86_addr
         self.interp.step()
@@ -344,6 +553,15 @@ class VMRuntime:
             "persist_chains_restored": (
                 self.persist_report.chains_restored
                 if self.persist_report else 0),
+            # fault / recovery counters (self-healing)
+            "translation_faults": self.translation_faults,
+            "blocks_quarantined": self.quarantine.quarantined,
+            "blocks_degraded": self.quarantine.degraded,
+            "interpreted_fallback_instrs":
+                self.interpreted_fallback_instrs,
+            "integrity_faults_detected": self.integrity_faults_detected,
+            "integrity_retranslations": self.integrity_retranslations,
+            "hotspot_misfires": self.hotspot_misfires,
         }
 
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Seeded chaos gate (the ``make chaos`` target).
+
+Sweeps the full fault matrix over the seed workloads:
+
+* every registered fault class alone at a forced rate, in every mode
+  it has surface in (warm boot from a mangled repository, cold run
+  with runtime faults armed);
+* all classes together at several seeds, both modes;
+* an fsck round-trip per disk fault class: mangle, ``fsck --repair``,
+  re-check clean, then warm-start from the repaired store.
+
+The gate fails (exit 1) if any faulted run diverges from its fault-free
+baseline, any exception escapes the runtime, or fsck leaves damage
+behind.  Every line of output carries the seed, so a failure replays
+bit-for-bit with the same command.
+
+Run directly (``python tools/chaos.py``) or via ``make chaos`` /
+``make verify``.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.core.config import vm_soft                    # noqa: E402
+from repro.core.vm import CoDesignedVM                   # noqa: E402
+from repro.faults import (                               # noqa: E402
+    FaultInjector,
+    all_fault_names,
+    make_fault,
+    modes_for,
+    prepare_baseline,
+    run_faulted,
+)
+from repro.isa.x86lite.assembler import assemble         # noqa: E402
+from repro.persist import TranslationRepository          # noqa: E402
+from repro.workloads.programs import PROGRAMS            # noqa: E402
+
+HOT_THRESHOLD = 20
+WORKLOADS = ("fibonacci", "checksum", "bubble_sort", "sieve")
+COCKTAIL_SEEDS = (0, 1, 2, 3)
+
+
+def chaos_matrix(workdir: str) -> int:
+    """Per-class forced-rate runs plus all-classes cocktails."""
+    failures = 0
+    for name in WORKLOADS:
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        runs = []
+        for fault in all_fault_names():
+            for warm in modes_for([fault]):
+                runs.append(([fault], 11, warm, {"rate": 1.0}))
+        for seed in COCKTAIL_SEEDS:
+            for warm in (True, False):
+                runs.append((all_fault_names(), seed, warm, {}))
+        for faults, seed, warm, overrides in runs:
+            outcome = run_faulted(baseline, faults, seed,
+                                  workdir=workdir, warm=warm,
+                                  **overrides)
+            print(outcome.format())
+            if not outcome.ok:
+                failures += 1
+    return failures
+
+
+def fsck_roundtrip(workdir: str) -> int:
+    """Every disk fault class must be fully repairable by fsck."""
+    failures = 0
+    source = PROGRAMS["fibonacci"]
+    disk_faults = [name for name in all_fault_names()
+                   if make_fault(name).disk]
+    for seed, fault_name in enumerate(disk_faults):
+        repo_dir = pathlib.Path(workdir) / f"fsck-{fault_name}"
+        vm = CoDesignedVM(vm_soft(), hot_threshold=HOT_THRESHOLD)
+        vm.load(assemble(source))
+        vm.run()
+        repo = TranslationRepository(repo_dir)
+        vm.save_translations(repo)
+
+        injector = FaultInjector(100 + seed, [fault_name], rate=1.0)
+        corruptions = injector.mangle_repository(repo_dir)
+        repo.fsck(repair=True)
+        clean = repo.fsck(repair=False)
+
+        warm_vm = CoDesignedVM(vm_soft(), hot_threshold=HOT_THRESHOLD)
+        warm_vm.load(assemble(source))
+        load = warm_vm.warm_start(repo)
+        warm_vm.run()
+
+        problems = []
+        if not clean.ok:
+            problems.append(f"fsck left {clean.issues} issue(s) behind")
+        if load.corrupt:
+            problems.append(f"{load.corrupt} corrupt record(s) survived "
+                            f"the repair")
+        if warm_vm.state.exit_code != vm.state.exit_code or \
+                list(warm_vm.state.output) != list(vm.state.output):
+            problems.append("warm run after repair diverged")
+        status = "ok" if not problems else "FAIL"
+        print(f"{status}  fsck roundtrip [{fault_name}] "
+              f"({corruptions} corruption(s), "
+              f"{load.loaded}/{load.attempted} reloaded)")
+        for problem in problems:
+            print(f"      {problem}")
+        failures += bool(problems)
+    return failures
+
+
+def main() -> int:
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+        print("== chaos matrix (fault class x workload x mode) ==")
+        failures += chaos_matrix(workdir)
+        print("\n== fsck repair round-trip (disk fault classes) ==")
+        failures += fsck_roundtrip(workdir)
+    if failures:
+        print(f"\nchaos gate: {failures} FAILURE(S)")
+        return 1
+    print("\nchaos gate: all faulted runs matched their baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
