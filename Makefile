@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-smoke chaos examples figures clean
+.PHONY: install test lint verify bench bench-smoke chaos trace-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -28,8 +28,9 @@ lint:
 # Lint + the tier-1 suite with the translation verifier forced on
 # (the autouse sanitizer fixture arms the full rule-pack at every
 # TranslationDirectory.install; see docs/verifier.md), plus the
-# warm-start smoke gate and the seeded chaos gate.
-verify: lint bench-smoke chaos
+# warm-start smoke gate, the seeded chaos gate and the observability
+# smoke gate.
+verify: lint bench-smoke chaos trace-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -47,6 +48,13 @@ bench-smoke:
 # (docs/robustness.md).
 chaos:
 	$(PYTHON) tools/chaos.py
+
+# Observability gate: every seed workload's trace export must pass the
+# checked-in schema with conserved per-phase cycle totals, traced runs
+# must be byte-identical, and disabled tracing must cost nothing
+# measurable on the throughput hot loop (docs/observability.md).
+trace-smoke:
+	$(PYTHON) tools/trace_smoke.py
 
 # Run every example script end to end.
 examples:

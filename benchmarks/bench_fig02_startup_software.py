@@ -25,7 +25,7 @@ from repro.analysis.reporting import format_table
 from repro.analysis.startup_curves import log_grid
 from repro.timing import Scenario, simulate_startup
 from repro.timing.sampler import crossover_cycles, interpolate_at
-from conftest import FULL_TRACE, emit
+from conftest import FULL_TRACE, emit, emit_json, ledger_payload
 
 CONFIGS = ["Ref: superscalar", "VM: Interp & SBT", "VM.soft"]
 
@@ -100,6 +100,24 @@ def test_fig02_startup_software(lab, benchmark):
         f"  Interp+SBT final aggregate vs ref  : paper ~0.5  | "
         f"measured {interp_ratio:.2f} (suite mean)")
     emit("fig02_startup_software", table + notes)
+    # machine-readable companion: the ledger's per-phase cycle
+    # attribution for one representative app under every curve's
+    # configuration (every cycle in exactly one Eq. 1 phase)
+    attribution = [ledger_payload(lab.result("Word", config_name))
+                   for config_name in CONFIGS]
+    attribution.append(ledger_payload(
+        lab.result("Word", "VM.soft", FULL_TRACE,
+                   Scenario.PERSISTENT_WARM)))
+    assert all(entry["conserved"] for entry in attribution)
+    emit_json("fig02_startup_software", {
+        "milestones": {
+            "ref_over_soft_instr_ratio_at_1M": ratio_1m,
+            "soft_breakeven_cycles": soft_breakeven,
+            "warm_breakeven_cycles": warm_breakeven,
+            "interp_final_ratio": interp_ratio,
+        },
+        "phase_attribution": attribution,
+    })
 
     # shape assertions (the reproduction contract)
     assert ratio_1m > 2.5

@@ -16,7 +16,7 @@ boot-time re-materialization pass over the repository.
 from repro.analysis.reporting import format_table
 from repro.timing import Scenario, simulate_startup
 from repro.timing.sampler import interpolate_at
-from conftest import SHORT_TRACE, emit
+from conftest import SHORT_TRACE, emit, emit_json, ledger_payload
 
 
 def test_scenarios(lab, benchmark):
@@ -52,6 +52,16 @@ def test_scenarios(lab, benchmark):
              f"(Section 3.1: the relative slowdown is much less in "
              f"scenario 1 than in 2)")
     emit("scenarios", table + notes)
+    # machine-readable companion: per-scenario, per-phase cycle
+    # attribution from each simulation's ledger
+    attribution = {scenario.value: {"ref": ledger_payload(ref),
+                                    "soft": ledger_payload(soft)}
+                   for scenario, (ref, soft) in results.items()}
+    assert all(entry["conserved"]
+               for pair in attribution.values()
+               for entry in pair.values())
+    emit_json("scenarios", {"app": app_name, "instrs": SHORT_TRACE,
+                            "phase_attribution": attribution})
 
     # orderings from the paper's scenario analysis, with the persistent
     # warm start slotting between memory startup and the in-memory warm

@@ -12,6 +12,7 @@ under pytest's capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 from typing import Dict, Tuple
 
@@ -46,6 +47,30 @@ def emit(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     _EMITTED.append(text)
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Write a machine-readable result to ``results/<name>.json``
+    (deterministic serialization: sorted keys, fixed separators)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, sort_keys=True, indent=1,
+                   separators=(",", ": ")) + "\n")
+
+
+def ledger_payload(result) -> dict:
+    """The per-phase cycle attribution of one startup simulation
+    (:class:`repro.obs.ledger.CycleLedger`), JSON-ready."""
+    ledger = result.ledger
+    return {
+        "config": result.config_name,
+        "app": result.app_name,
+        "scenario": result.scenario.value,
+        "total_cycles": result.total_cycles,
+        "phase_cycles": ledger.totals() if ledger else {},
+        "eq1": ledger.eq1_breakdown() if ledger else {},
+        "conserved": bool(result.conserved),
+    }
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -9,7 +9,15 @@ Commands:
   scenario for one application under all configurations; print the
   normalized curves and breakeven points (Fig. 8 style).
 * ``breakeven [--instrs N]`` — the full Fig. 9 per-application table.
-* ``profile [--instrs N]`` — the Fig. 3 execution-frequency profile.
+* ``profile [WORKLOAD] [--top N] [--instrs N]`` — with no workload, the
+  Fig. 3 execution-frequency profile; with a workload, run it traced and
+  print the cycle-attribution ledger: Eq. 1 per-phase totals, the
+  startup timeline and the top-N blocks by translation overhead (see
+  :mod:`repro.obs.ledger` and ``docs/observability.md``).
+* ``trace WORKLOAD [--out FILE]`` — run a workload with event tracing
+  enabled and export a Chrome/Perfetto-loadable ``trace_event`` JSON
+  document (load it at https://ui.perfetto.dev); includes the ledger's
+  per-phase cycle attribution in ``metadata``.
 * ``configs`` — list the machine configurations (Table 2).
 * ``verify [--workload NAME|all] [--program FILE] [--json]`` — run a
   workload with the translation verifier armed and report every
@@ -29,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
@@ -39,10 +48,13 @@ from repro.analysis.reporting import format_table
 from repro.analysis.startup_curves import log_grid
 from repro.core import ALL_CONFIGS, CoDesignedVM
 from repro.isa.x86lite import assemble
+from repro.obs.logutil import LOG_LEVELS, configure_logging
 from repro.timing import simulate_startup
 from repro.timing.sampler import crossover_cycles
 from repro.workloads import generate_workload, winstone_app, \
     winstone_suite
+
+log = logging.getLogger("repro.cli")
 
 
 def _config_by_name(name: str):
@@ -119,7 +131,48 @@ def cmd_breakeven(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_run(args: argparse.Namespace) -> CoDesignedVM:
+    """Assemble, load and run one workload with tracing enabled."""
+    source = _program_source(args.workload)
+    config = _config_by_name(args.config).with_(trace=True)
+    vm = CoDesignedVM(config, hot_threshold=args.hot_threshold)
+    vm.load(assemble(source))
+    vm.run(max_instructions=args.max_instructions)
+    return vm
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    vm = _traced_run(args)
+    from repro.obs.export import serialize_trace, validate_trace
+    doc = vm.export_trace(metadata={"workload": args.workload})
+    problems = validate_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
+    text = serialize_trace(doc)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {len(doc['traceEvents'])} event(s) to {args.out} "
+              f"({vm.ledger.total:.0f} simulated cycles attributed); "
+              f"load it at https://ui.perfetto.dev")
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
+    if args.workload:
+        vm = _traced_run(args)
+        print(vm.ledger.format())
+        top = vm.ledger.top_blocks("bbt_translation", limit=args.top)
+        if top:
+            print(f"\ntop {len(top)} block(s) by BBT translation "
+                  f"overhead:")
+            for addr, cycles in top:
+                print(f"  {addr:#010x}  {cycles:12.0f} cycles")
+        return 0
     workloads = [generate_workload(app, dyn_instrs=args.instrs,
                                    seed=args.seed)
                  for app in winstone_suite()]
@@ -272,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Co-designed VM startup-time study "
                     "(Hu & Smith, ISCA 2006)")
+    parser.add_argument("--log-level", default=None, choices=LOG_LEVELS,
+                        help="logging threshold for the repro.* loggers "
+                             "(default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run an x86lite program")
@@ -294,11 +350,39 @@ def build_parser() -> argparse.ArgumentParser:
     breakeven.add_argument("--seed", type=int, default=0)
     breakeven.set_defaults(func=cmd_breakeven)
 
-    profile = sub.add_parser("profile",
-                             help="Fig. 3 frequency profile")
+    profile = sub.add_parser(
+        "profile",
+        help="Fig. 3 frequency profile, or per-workload cycle "
+             "attribution")
+    profile.add_argument("workload", nargs="?", default=None,
+                         help="seed workload name or assembly file; "
+                              "when given, run it traced and print the "
+                              "ledger's Eq. 1 phase breakdown instead "
+                              "of the Fig. 3 table")
+    profile.add_argument("--top", type=int, default=10,
+                         help="top-N blocks by BBT translation overhead "
+                              "(default 10)")
+    profile.add_argument("--config", default="soft")
+    profile.add_argument("--hot-threshold", type=int, default=None)
+    profile.add_argument("--max-instructions", type=int,
+                         default=10_000_000)
     profile.add_argument("--instrs", type=int, default=100_000_000)
     profile.add_argument("--seed", type=int, default=0)
     profile.set_defaults(func=cmd_profile)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload traced; export Perfetto trace_event JSON")
+    trace.add_argument("workload",
+                       help="seed workload name or assembly file")
+    trace.add_argument("--out", default=None,
+                       help="write the trace JSON here "
+                            "(default: stdout)")
+    trace.add_argument("--config", default="soft")
+    trace.add_argument("--hot-threshold", type=int, default=None)
+    trace.add_argument("--max-instructions", type=int,
+                       default=10_000_000)
+    trace.set_defaults(func=cmd_trace)
 
     configs = sub.add_parser("configs", help="list configurations")
     configs.set_defaults(func=cmd_configs)
@@ -352,6 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    log.debug("command %r dispatched", args.command)
     return args.func(args)
 
 

@@ -126,6 +126,12 @@ class MachineConfig:
     #: (0 = off; armed by chaos runs — see :mod:`repro.faults` and
     #: ``docs/robustness.md``)
     integrity_check_interval: int = 0
+    #: record lifecycle events + the flight-recorder ring (see
+    #: :mod:`repro.obs` and ``docs/observability.md``); off by default —
+    #: disabled tracing costs one pointer test per hook site.  Excluded
+    #: from the persistence fingerprint: traced and untraced runs share
+    #: warm-start repositories.
+    trace: bool = False
     #: steady-state IPC advantage of fused macro-op execution over the
     #: reference superscalar (Section 2: +8% on Winstone, +18% SPECint;
     #: per-application values live in the workload models)

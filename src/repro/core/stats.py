@@ -3,7 +3,47 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+#: ExecutionReport field -> (metrics-registry series name, labels).
+#: Every report field backed by the runtime's registry appears here;
+#: ``tests/test_metrics.py`` asserts the two surfaces agree field by
+#: field after a mixed BBT/SBT/fault run, so they can never silently
+#: diverge (the registry is the single source of truth — see
+#: :mod:`repro.obs.metrics`).
+REPORT_METRICS: Dict[str, tuple] = {
+    "instructions_interpreted": ("instructions_interpreted", {}),
+    "uops_executed": ("uops_executed", {}),
+    "fused_pairs_executed": ("fused_pairs_seen", {}),
+    "blocks_translated": ("blocks_translated", {}),
+    "superblocks_translated": ("superblocks_translated", {}),
+    "bbt_instrs_translated": ("bbt_instrs_translated", {}),
+    "sbt_instrs_translated": ("sbt_instrs_translated", {}),
+    "pairs_fused": ("pairs_fused", {}),
+    "chains_made": ("chains_made", {}),
+    "vm_exits": ("vm_exits", {}),
+    "interp_one_calls": ("interp_one_calls", {}),
+    "profile_calls": ("profile_calls", {}),
+    "bbt_flushes": ("code_cache_flushes", {"cache": "bbt"}),
+    "sbt_flushes": ("code_cache_flushes", {"cache": "sbt"}),
+    "xltx86_invocations": ("xltx86_invocations", {}),
+    "translations_lost_in_flushes":
+        ("translations_lost_in_flushes", {}),
+    "bbt_retranslations": ("bbt_retranslations", {}),
+    "sbt_retranslations": ("sbt_retranslations", {}),
+    "hotspot_retranslations": ("hotspot_retranslations", {}),
+    "persist_loaded": ("persist_loaded", {}),
+    "persist_dropped": ("persist_dropped", {}),
+    "persist_chains_restored": ("persist_chains_restored", {}),
+    "translation_faults": ("translation_faults", {}),
+    "blocks_quarantined": ("blocks_quarantined", {}),
+    "blocks_degraded": ("blocks_degraded", {}),
+    "interpreted_fallback_instrs": ("interpreted_fallback_instrs", {}),
+    "integrity_faults_detected": ("integrity_faults_detected", {}),
+    "integrity_retranslations": ("integrity_retranslations", {}),
+    "hotspot_misfires": ("hotspot_misfires", {}),
+    "total_cycles": ("sim_cycles_total", {}),
+}
 
 
 @dataclass
@@ -53,6 +93,11 @@ class ExecutionReport:
     integrity_faults_detected: int = 0
     integrity_retranslations: int = 0
     hotspot_misfires: int = 0
+    #: simulated-cycle attribution from the runtime's ledger (every
+    #: cycle in exactly one Eq. 1 phase; ``sum(phase_cycles.values())
+    #: == total_cycles`` by construction — see :mod:`repro.obs.ledger`)
+    total_cycles: float = 0.0
+    phase_cycles: Dict[str, float] = field(default_factory=dict)
 
     @property
     def fused_uop_fraction(self) -> float:
@@ -66,6 +111,8 @@ class ExecutionReport:
     def summary(self) -> str:
         lines = [f"=== {self.config_name} ===",
                  f"exit code:            {self.exit_code}",
+                 *([f"simulated cycles:     {self.total_cycles:.0f}"]
+                   if self.total_cycles else []),
                  f"interpreted instrs:   {self.instructions_interpreted}",
                  f"native micro-ops:     {self.uops_executed}",
                  f"fused pair fraction:  {self.fused_uop_fraction:.1%}",

@@ -18,6 +18,7 @@ timing layer (:mod:`repro.timing`) models at scale.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 from repro.core.config import MachineConfig, vm_soft
@@ -31,6 +32,8 @@ from repro.memory.address_space import AddressSpace
 from repro.memory.loader import DEFAULT_STACK_TOP, Image, load_image
 from repro.vmm.profiling import SoftwareProfiler
 from repro.vmm.runtime import VMRuntime
+
+log = logging.getLogger("repro.core")
 
 
 class CoDesignedVM:
@@ -103,7 +106,9 @@ class CoDesignedVM:
             enable_fusion=config.enable_fusion,
             enable_chaining=config.enable_chaining,
             verify_translations=config.verify_translations,
-            integrity_check_interval=config.integrity_check_interval)
+            integrity_check_interval=config.integrity_check_interval,
+            costs=config.costs,
+            trace=config.trace)
         if config.mode == "be":
             # route the BBT's decode/crack step through the XLTx86 unit
             self.xlt_unit = XLTx86Unit()
@@ -157,10 +162,42 @@ class CoDesignedVM:
         image_fp = image_fingerprint(self._image)
         records = repo.load(config_fp, image_fp)
         report = WarmStartLoader(self.runtime).load_records(records)
+        log.info("warm start under %s: %d/%d record(s) loaded",
+                 self.config.name, report.loaded, report.attempted)
         expected = repo.manifest_entry_count(config_fp, image_fp)
         if expected is not None and expected > len(records):
             report.missing_objects += expected - len(records)
         return report
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The runtime's event tracer (None unless ``trace=True``)."""
+        return self.runtime.tracer if self.runtime is not None else None
+
+    @property
+    def ledger(self):
+        """The runtime's cycle-attribution ledger (None pre-load)."""
+        return self.runtime.ledger if self.runtime is not None else None
+
+    @property
+    def metrics(self):
+        """The runtime's metrics registry (None pre-load)."""
+        return self.runtime.metrics if self.runtime is not None else None
+
+    def export_trace(self, metadata: Optional[dict] = None) -> dict:
+        """Perfetto-loadable trace of the last run (requires a config
+        with ``trace=True``); includes the ledger's phase attribution."""
+        from repro.obs.export import export_trace
+        if self.runtime is None or self.runtime.tracer is None:
+            raise RuntimeError(
+                "tracing is not enabled; use a config with trace=True "
+                "(e.g. vm_soft().with_(trace=True))")
+        meta = {"config": self.config.name}
+        meta.update(metadata or {})
+        return export_trace(self.runtime.tracer, self.runtime.ledger,
+                            metadata=meta)
 
     # -- introspection --------------------------------------------------------
 
@@ -234,6 +271,8 @@ class CoDesignedVM:
             integrity_faults_detected=stats["integrity_faults_detected"],
             integrity_retranslations=stats["integrity_retranslations"],
             hotspot_misfires=stats["hotspot_misfires"],
+            total_cycles=stats["total_cycles"],
+            phase_cycles=stats["phase_cycles"],
             xltx86_invocations=(self.xlt_unit.invocations
                                 if self.xlt_unit else 0))
 

@@ -230,8 +230,8 @@ class StaleRecordFault(FaultClass):
         for manifest_path in _files(root, "manifests"):
             try:
                 manifest = json.loads(manifest_path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue    # already mangled by another fault class
             entries = manifest.get("entries", [])
             if old in entries:
                 manifest["entries"] = [new if key == old else key

@@ -96,6 +96,10 @@ class ChaosOutcome:
     injected: Dict[str, int] = field(default_factory=dict)
     disk_corruptions: int = 0
     stats: Dict = field(default_factory=dict)
+    #: flight-recorder dump (repro.obs.tracer) captured when the run
+    #: raised or diverged — the replayable forensic trace; None when
+    #: the run survived cleanly
+    flight_recording: Optional[Dict] = None
 
     @property
     def total_injected(self) -> int:
@@ -157,7 +161,9 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
     outcome = ChaosOutcome(workload=baseline.name,
                            faults=list(faults), seed=seed, ok=False,
                            warm=warm, disk_corruptions=disk_corruptions)
-    config = vm_soft().with_(integrity_check_interval=1)
+    # chaos runs fly instrumented: the flight recorder turns any escape
+    # or divergence into a replayable forensic trace (docs/observability)
+    config = vm_soft().with_(integrity_check_interval=1, trace=True)
     vm = CoDesignedVM(config, hot_threshold=baseline.hot_threshold)
     vm.load(assemble(baseline.source))
     try:
@@ -169,6 +175,13 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
         outcome.problems.append(
             f"run did not complete: {type(error).__name__}: {error} "
             f"({injector.summary()})")
+        outcome.flight_recording = getattr(error, "flight_recording",
+                                           None)
+        if outcome.flight_recording is None and vm.tracer is not None:
+            outcome.flight_recording = vm.tracer.flight_dump(
+                f"chaos-exception:{type(error).__name__}",
+                workload=baseline.name, seed=seed,
+                faults=list(faults))
         return outcome
     finally:
         outcome.injected = dict(injector.injected)
@@ -178,6 +191,10 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
 
     outcome.problems = baseline.outcome.diff(ArchOutcome.of(vm))
     outcome.ok = not outcome.problems
+    if not outcome.ok and vm.tracer is not None:
+        outcome.flight_recording = vm.tracer.flight_dump(
+            "chaos-divergence", workload=baseline.name, seed=seed,
+            faults=list(faults), problems=outcome.problems)
     return outcome
 
 

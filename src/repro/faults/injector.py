@@ -15,11 +15,15 @@ with the same seed replays them bit-for-bit.
 
 from __future__ import annotations
 
+import logging
 import random
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.faults.classes import FaultClass, all_fault_names, make_fault
+
+# module logger; self.log below is the injector's *event* log
+_log = logging.getLogger("repro.faults")
 
 
 class FaultInjector:
@@ -61,6 +65,8 @@ class FaultInjector:
                 self.log.append((site, fault.name, repr(error)))
                 raise
             self.log.append((site, fault.name, fired))
+            _log.debug("fault %s fired at %s (seed %d)", fault.name,
+                       site, self.seed)
             if fired is not None:
                 result = fired
         return result

@@ -16,8 +16,11 @@ agnostic about which detector a configuration uses.
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import List, Optional
+
+log = logging.getLogger("repro.hwassist")
 
 #: Entry count of the branch behavior buffer (Merten et al. used 4K).
 DEFAULT_BBB_ENTRIES = 4096
@@ -51,6 +54,8 @@ class BranchBehaviorBuffer:
                 block_addr not in self._hot_reported:
             self._hot_reported.add(block_addr)
             self._hot_pending.append(block_addr)
+            log.debug("bbb: %#x crossed hot threshold %d",
+                      block_addr, self.hot_threshold)
 
     def record_edge(self, source: int, target: int, count: int = 1) -> None:
         """Edges are not tracked in hardware; superblock formation in

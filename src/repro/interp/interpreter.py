@@ -16,12 +16,15 @@ accounts for separately via cycles-per-instruction costs.
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, Optional
 
 from repro.isa.x86lite.decoder import decode
 from repro.isa.x86lite.instruction import Instruction, MAX_INSTRUCTION_LENGTH
 from repro.isa.x86lite.semantics import execute
 from repro.isa.x86lite.state import X86State
+
+log = logging.getLogger("repro.interp")
 
 
 class InterpreterLimit(Exception):
@@ -56,6 +59,9 @@ class Interpreter:
 
     def invalidate_decodes(self) -> None:
         """Drop cached decodes (after self-modifying-code writes)."""
+        if self._decode_cache:
+            log.debug("decode cache invalidated (%d entries)",
+                      len(self._decode_cache))
         self._decode_cache.clear()
 
     def step(self) -> Instruction:

@@ -9,9 +9,12 @@ from an image loaded into an :class:`~repro.memory.AddressSpace`.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.memory.address_space import AddressSpace
+
+log = logging.getLogger("repro.memory")
 
 #: Default load address for program text, mirroring a conventional
 #: user-space text base.
@@ -69,4 +72,6 @@ def load_image(image: Image, memory: AddressSpace) -> int:
     """Copy every segment of ``image`` into ``memory``; return the entry PC."""
     for segment in image.segments:
         memory.write(segment.addr, segment.data)
+    log.debug("loaded %d segment(s), %d byte(s), entry %#x",
+              len(image.segments), image.total_bytes(), image.entry)
     return image.entry

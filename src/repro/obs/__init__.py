@@ -1,0 +1,66 @@
+"""Observability for the translation stack — the VM's instrument panel.
+
+The paper's whole argument is a *time-attribution* claim: startup cycles
+split among interpretation, BBT translation, BBT-code execution, SBT
+translation and native hotspot execution (Eq. 1, Figs. 2/8/10).  This
+package makes that attribution a first-class, per-run artifact instead
+of a bench-only aggregate:
+
+* :mod:`repro.obs.metrics` — the metrics registry (counters, gauges,
+  histograms with labeled series) that backs every counter surfaced by
+  ``ExecutionReport`` and ``stats()``;
+* :mod:`repro.obs.ledger` — the cycle-attribution ledger: every
+  simulated cycle lands in exactly one Eq. 1 phase bucket, with a
+  per-interval timeline and per-block translation-overhead profiles;
+* :mod:`repro.obs.tracer` — the typed lifecycle event tracer plus the
+  bounded flight recorder dumped on runtime faults;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON export
+  and the checked-in trace schema validator;
+* :mod:`repro.obs.logutil` — the ``repro.*`` logging tree configuration
+  used by the CLI's ``--log-level`` flag.
+
+Tracing is off by default and the hooks are guarded (``tracer is None``
+checks on dispatch paths), so a non-traced run pays near-zero cost;
+``tools/trace_smoke.py`` gates that.  Enabled tracing is deterministic:
+timestamps come from the simulated-cycle clock, never the wall clock,
+so the same workload and seed produce a byte-identical event stream.
+"""
+
+from repro.obs.ledger import (
+    EQ1_PHASES,
+    CycleLedger,
+    RuntimePhaseCosts,
+    runtime_phase_costs,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metric_field,
+)
+from repro.obs.tracer import EventTracer, TraceEvent
+from repro.obs.export import (
+    export_trace,
+    load_trace_schema,
+    validate_trace,
+)
+from repro.obs.logutil import configure_logging
+
+__all__ = [
+    "Counter",
+    "CycleLedger",
+    "EQ1_PHASES",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RuntimePhaseCosts",
+    "TraceEvent",
+    "configure_logging",
+    "export_trace",
+    "load_trace_schema",
+    "metric_field",
+    "runtime_phase_costs",
+    "validate_trace",
+]

@@ -1,0 +1,142 @@
+"""Trace export: Chrome/Perfetto ``trace_event`` JSON + schema check.
+
+:func:`export_trace` renders a tracer + ledger pair into the JSON
+object format Perfetto and ``chrome://tracing`` load directly: a
+``traceEvents`` array (one entry per event, ``"X"`` slices carrying
+``dur``), plus ``metadata`` and the ledger's phase-attribution summary
+(``phase_cycles`` / ``total_cycles`` / ``eq1`` / ``timeline``) as
+top-level extras — the format explicitly permits extra keys, and
+viewers ignore them.
+
+Determinism: events are sorted by (ts, seq) and serialized with
+``sort_keys=True`` and fixed separators, so the same run produces a
+byte-identical file (``tests/test_obs.py`` pins this).
+
+:func:`validate_trace` checks an export against the checked-in
+``trace_schema.json``.  It uses :mod:`jsonschema` when the container
+has it and otherwise falls back to a small structural validator
+covering the same constraints, so the schema gate never silently
+no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.ledger import CycleLedger
+from repro.obs.tracer import EventTracer
+
+log = logging.getLogger("repro.obs")
+
+_SCHEMA_PATH = Path(__file__).with_name("trace_schema.json")
+
+
+def load_trace_schema() -> Dict:
+    """The checked-in JSON schema for exported traces."""
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def export_trace(tracer: EventTracer,
+                 ledger: Optional[CycleLedger] = None,
+                 metadata: Optional[Dict] = None) -> Dict:
+    """Render a run's trace as a Perfetto-loadable JSON object."""
+    events = sorted(tracer.events, key=lambda e: (e.ts, e.seq))
+    doc: Dict = {
+        "traceEvents": [event.to_trace_event() for event in events],
+        "displayTimeUnit": "ns",    # 1 "us" tick == 1 simulated cycle
+        "metadata": {
+            "clock": "simulated-cycles",
+            "events_emitted": len(events),
+            "events_dropped": tracer.dropped,
+            **(metadata or {}),
+        },
+    }
+    if ledger is not None:
+        attribution = ledger.to_dict()
+        doc["total_cycles"] = attribution["total_cycles"]
+        doc["phase_cycles"] = attribution["phase_cycles"]
+        doc["eq1"] = attribution["eq1"]
+        doc["conserved"] = attribution["conserved"]
+        doc["timeline"] = attribution["timeline"]
+        doc["top_blocks"] = attribution["top_blocks"]
+    return doc
+
+
+def dump_trace(doc: Dict, path) -> None:
+    """Serialize deterministically (sorted keys, fixed separators)."""
+    Path(path).write_text(serialize_trace(doc))
+
+
+def serialize_trace(doc: Dict) -> str:
+    return json.dumps(doc, sort_keys=True, indent=1,
+                      separators=(",", ": ")) + "\n"
+
+
+# -- validation ---------------------------------------------------------------
+
+def validate_trace(doc: Dict, schema: Optional[Dict] = None) -> List[str]:
+    """Validate an export; returns a list of problems (empty = valid)."""
+    if schema is None:
+        schema = load_trace_schema()
+    try:
+        import jsonschema
+    except ImportError:                                  # pragma: no cover
+        log.info("jsonschema unavailable; using structural fallback")
+        return _validate_structural(doc)
+    validator = jsonschema.Draft7Validator(schema)
+    problems = [f"{'/'.join(str(p) for p in error.absolute_path) or '<root>'}:"
+                f" {error.message}"
+                for error in validator.iter_errors(doc)]
+    # the schema cannot express cross-field arithmetic; check
+    # conservation here in both code paths
+    problems.extend(_validate_conservation(doc))
+    return problems
+
+
+def _validate_structural(doc: Dict) -> List[str]:
+    """Dependency-free subset of the schema's constraints."""
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents: missing or not an array"]
+    last_key = None
+    for index, event in enumerate(events):
+        where = f"traceEvents/{index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field_name, kind in (("name", str), ("ph", str),
+                                 ("ts", (int, float)), ("pid", int),
+                                 ("tid", int), ("args", dict)):
+            if not isinstance(event.get(field_name), kind):
+                problems.append(f"{where}: bad {field_name!r}")
+        if event.get("ph") == "X" and not isinstance(
+                event.get("dur"), (int, float)):
+            problems.append(f"{where}: X event missing dur")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_key is not None and ts < last_key:
+                problems.append(f"{where}: ts not monotone")
+            last_key = ts
+    if not isinstance(doc.get("metadata"), dict):
+        problems.append("metadata: missing or not an object")
+    problems.extend(_validate_conservation(doc))
+    return problems
+
+
+def _validate_conservation(doc: Dict) -> List[str]:
+    """Phase totals must sum to total_cycles (when attribution present)."""
+    if "phase_cycles" not in doc:
+        return []
+    phases = doc.get("phase_cycles")
+    total = doc.get("total_cycles")
+    if not isinstance(phases, dict) or not isinstance(total, (int, float)):
+        return ["phase_cycles/total_cycles: malformed attribution block"]
+    attributed = sum(phases.values())
+    if abs(attributed - total) > 1e-6 * max(total, 1.0):
+        return [f"phase_cycles: attributed {attributed} != "
+                f"total_cycles {total} (cycles leaked or double-counted)"]
+    return []

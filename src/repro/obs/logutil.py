@@ -1,0 +1,39 @@
+"""Logging for the ``repro.*`` tree — one root, quiet by default.
+
+Every subsystem logs under a ``repro.<subsystem>`` logger
+(``repro.vmm``, ``repro.translator``, ``repro.persist``, ...).  The
+library itself never calls ``basicConfig``; entry points call
+:func:`configure_logging` once, which installs a single handler on the
+``repro`` root logger so the whole tree shares one format and level.
+The CLI exposes this as ``repro --log-level debug <cmd>``; the default
+is WARNING, i.e. silent on healthy runs.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def configure_logging(level: Optional[str] = None) -> logging.Logger:
+    """Install (or retune) the handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so tests can call it freely.
+    """
+    root = logging.getLogger("repro")
+    resolved = getattr(logging, (level or "warning").upper(), None)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {', '.join(LOG_LEVELS)}")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False
+    return root

@@ -1,0 +1,240 @@
+"""The metrics registry — single source of truth for runtime counters.
+
+Before this module, every statistic the VM reported lived in a
+hand-maintained instance attribute (``self.dispatches += 1``) that
+``stats()`` and ``ExecutionReport`` copied by name; nothing stopped the
+two surfaces from silently diverging.  Now each of those attributes is a
+:func:`metric_field` descriptor backed by a labeled series in a
+:class:`MetricsRegistry`, so incrementing the attribute *is* updating
+the registry, and both reporting surfaces read the same storage
+(``tests/test_metrics.py`` pins the equivalence field by field).
+
+Three series kinds:
+
+* :class:`Counter` — monotone event count (``inc``);
+* :class:`Gauge`  — point-in-time level (``set``), used for values
+  derived at snapshot time (quarantine depth, cache occupancy);
+* :class:`Histogram` — power-of-two bucketed distribution
+  (``observe``), used for translation sizes.
+
+Registry snapshots are plain dicts keyed ``name`` or
+``name{label=value,...}`` and support :meth:`MetricsRegistry.diff` for
+before/after comparisons.  Everything here is deterministic and
+allocation-light; the hot dispatch path touches one cached series
+object per increment.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Iterator, Optional, Tuple
+
+log = logging.getLogger("repro.obs")
+
+
+def series_key(name: str, labels: Dict[str, str]) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}"
+                     for key, value in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Series:
+    """Common identity for one labeled time series."""
+
+    kind = "series"
+    __slots__ = ("name", "labels", "key")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.key = series_key(name, labels)
+
+
+class Counter(Series):
+    """Monotone counter (``set`` exists only for descriptor rebinds)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge(Series):
+    """Point-in-time level."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram(Series):
+    """Power-of-two bucketed distribution of observed values."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str, labels: Dict[str, str]) -> None:
+        super().__init__(name, labels)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        #: bucket upper bound (power of two) -> observation count
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bound = 1
+        while bound < value:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "buckets": dict(sorted(self.buckets.items()))}
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple, Series] = {}
+
+    def _get(self, kind: str, name: str, labels: Dict[str, str]) -> Series:
+        key = (name, tuple(sorted(labels.items())))
+        series = self._series.get(key)
+        if series is None:
+            series = _KINDS[kind](name, labels)
+            self._series[key] = series
+        elif series.kind != kind:
+            raise TypeError(f"series {series.key!r} is a {series.kind}, "
+                            f"not a {kind}")
+        return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def __iter__(self) -> Iterator[Series]:
+        return iter(sorted(self._series.values(),
+                           key=lambda series: series.key))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def value(self, name: str, **labels):
+        """Current value of a series, or None if it does not exist."""
+        key = (name, tuple(sorted(labels.items())))
+        series = self._series.get(key)
+        if series is None:
+            return None
+        return series.snapshot()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat ``{series_key: value}`` dict (histograms nest a dict)."""
+        return {series.key: series.snapshot() for series in self}
+
+    def diff(self, before: Dict[str, object]) -> Dict[str, object]:
+        """Numeric series that changed since ``before`` (a snapshot).
+
+        Returns ``{series_key: delta}``; histogram series are compared
+        by observation count.  Series absent from ``before`` diff
+        against zero.
+        """
+        deltas: Dict[str, object] = {}
+        for key, value in self.snapshot().items():
+            old = before.get(key, 0)
+            if isinstance(value, dict):          # histogram
+                value = value["count"]
+                old = old["count"] if isinstance(old, dict) else old
+            if value != old:
+                deltas[key] = value - old
+        return deltas
+
+
+class metric_field:
+    """Descriptor routing an int attribute through the owner's registry.
+
+    The owning object must expose ``self.metrics`` (a
+    :class:`MetricsRegistry`) before the first access, and may expose
+    ``self._metric_labels`` (a dict) for per-instance label sets —
+    that is how the two :class:`~repro.translator.code_cache.CodeCache`
+    instances share one ``code_cache_flushes`` series name with
+    ``cache=bbt`` / ``cache=sbt`` labels.
+
+    Reads return the plain number, writes store it, so existing
+    ``self.counter += 1`` call sites (and every external
+    ``runtime.dispatches``-style reader) keep working unchanged while
+    the registry becomes the single source of truth.
+    """
+
+    def __init__(self, name: Optional[str] = None,
+                 kind: str = "counter") -> None:
+        self.name = name
+        self.kind = kind
+
+    def __set_name__(self, owner, attr: str) -> None:
+        self.attr = attr
+        if self.name is None:
+            self.name = attr
+        self._cache_slot = f"_series_{attr}"
+
+    def _series(self, obj) -> Series:
+        series = obj.__dict__.get(self._cache_slot)
+        if series is None:
+            labels = getattr(obj, "_metric_labels", None) or {}
+            series = obj.metrics._get(self.kind, self.name, labels)
+            obj.__dict__[self._cache_slot] = series
+        return series
+
+    def __get__(self, obj, owner=None):
+        if obj is None:
+            return self
+        return self._series(obj).value
+
+    def __set__(self, obj, value) -> None:
+        self._series(obj).set(value)

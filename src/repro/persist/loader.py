@@ -134,6 +134,19 @@ class WarmStartLoader:
         report = LoadReport()
         directory = self.runtime.directory
         memory = self.runtime.memory
+        tracer = getattr(self.runtime, "tracer", None)
+        ledger = getattr(self.runtime, "ledger", None)
+        phase_costs = getattr(self.runtime, "phase_costs", None)
+
+        def reject(reason: str, record: Dict) -> None:
+            if tracer is not None:
+                entry = record.get("entry")
+                tracer.instant(
+                    "warmstart.reject", reason=reason,
+                    kind=str(record.get("kind")),
+                    entry=f"{entry:#x}" if isinstance(entry, int)
+                    else str(entry))
+
         loaded = []
         seen: Set[Tuple[str, int]] = set()
         # BBT copies first so a following SBT copy installs its redirect
@@ -148,15 +161,18 @@ class WarmStartLoader:
                 validate_record(record)
             except PersistFormatError as error:
                 report.corrupt += 1
+                reject("corrupt", record)
                 log.warning("warm start: corrupt record skipped: %s",
                             error)
                 continue
             kind, entry = record["kind"], record["entry"]
             if (kind, entry) in seen:
                 report.duplicate_skipped += 1
+                reject("duplicate", record)
                 continue
             if not source_matches(record, memory):
                 report.stale_source += 1
+                reject("stale-source", record)
                 continue
             cache = directory.cache_for(kind)
             try:
@@ -172,6 +188,7 @@ class WarmStartLoader:
                 data = encode_stream(uops)
             except (PersistFormatError, UopEncodeError) as error:
                 report.corrupt += 1
+                reject("corrupt", record)
                 log.warning("warm start: record %s@%#x failed to "
                             "materialize: %s", kind, entry, error)
                 continue
@@ -181,12 +198,14 @@ class WarmStartLoader:
                 # a record the format layer accepted but the rebuild
                 # machinery cannot digest: quarantine it, keep booting
                 report.undecodable += 1
+                reject("undecodable", record)
                 log.warning("warm start: record %s@%#x is undecodable "
                             "(%s: %s); skipped", kind, entry,
                             type(error).__name__, error)
                 continue
             if not cache.would_fit(len(data)):
                 report.capacity_skipped += 1
+                reject("capacity", record)
                 continue
             # the PR-1 rule-pack gates every install: a record that
             # breaks an invariant is dropped, never executed
@@ -194,10 +213,21 @@ class WarmStartLoader:
             if fault_point("loader.verify", entry=entry, kind=kind) \
                     or not verify_translation(translation).ok:
                 report.verifier_rejected += 1
+                reject("verifier", record)
                 log.warning("warm start: record %s@%#x rejected by "
                             "the verifier; skipped", kind, entry)
                 continue
             directory.install(data, translation)
+            # warm-start work is a startup phase of its own: charge the
+            # deserialize/re-encode/screen cost to the run's ledger
+            if ledger is not None and phase_costs is not None:
+                ledger.charge("persist_load",
+                              translation.instr_count
+                              * phase_costs.persist_load_cpi,
+                              block=entry)
+            if tracer is not None:
+                tracer.instant("warmstart.load", kind=kind,
+                               entry=f"{entry:#x}", bytes=len(data))
             seen.add((kind, entry))
             loaded.append(translation)
             report.loaded += 1
@@ -208,6 +238,10 @@ class WarmStartLoader:
                 report.sbt_loaded += 1
 
         self._relink(loaded, report)
+        if tracer is not None:
+            tracer.instant("warmstart.done", loaded=report.loaded,
+                           dropped=report.dropped,
+                           chains_restored=report.chains_restored)
         self.runtime.persist_report = report
         return report
 

@@ -24,10 +24,12 @@ sampler's auxiliary channel.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.config import MachineConfig
+from repro.obs.ledger import CycleLedger
 from repro.timing.caches import ColdFootprintModel
 from repro.timing.pipeline import ModeCosts, mode_costs_for
 from repro.timing.sampler import LogSampler, SampledSeries
@@ -38,6 +40,8 @@ from repro.timing.scenarios import (
     Scenario,
 )
 from repro.workloads.trace import Region, Workload
+
+log = logging.getLogger("repro.timing")
 
 #: Synthetic placement of translated code (the concealed code cache).
 _CODE_CACHE_SHADOW_BASE = 0x2000_0000
@@ -62,6 +66,17 @@ class StartupResult:
     #: static instructions re-materialized from the persistent
     #: translation repository at boot (PERSISTENT_WARM scenario)
     persist_loaded_instrs: int = 0
+    #: cycle-attribution ledger: same totals as ``breakdown`` plus the
+    #: per-interval phase timeline and per-region translation profiles
+    #: (see :mod:`repro.obs.ledger`)
+    ledger: Optional[CycleLedger] = None
+
+    @property
+    def conserved(self) -> bool:
+        """Every simulated cycle attributed to exactly one phase."""
+        return self.ledger is not None and self.ledger.conserved() and \
+            abs(self.ledger.total - self.total_cycles) <= \
+            1e-6 * max(self.total_cycles, 1.0)
 
     @property
     def aggregate_ipc(self) -> float:
@@ -110,10 +125,12 @@ class StartupSimulator:
                        for region in self._regions]
         self._mem_line_charge = config.memory_latency + config.l2.latency
         self._l2_line_charge = config.l2.latency
+        self.ledger = CycleLedger()
         self.result = StartupResult(config_name=config.name,
                                     app_name=self.app.name,
                                     scenario=scenario,
-                                    series=self.sampler.series)
+                                    series=self.sampler.series,
+                                    ledger=self.ledger)
 
     # -- initial state per scenario ------------------------------------------
 
@@ -181,6 +198,11 @@ class StartupSimulator:
         self.result.series = series
         self.result.total_cycles = self.sampler.cycles
         self.result.total_instrs = self.sampler.instructions
+        log.debug("%s/%s (%s): %.0f cycles, %.0f instrs, "
+                  "%d promotion(s), ledger conserved=%s",
+                  self.config.name, self.app.name, self.scenario.name,
+                  self.sampler.cycles, self.sampler.instructions,
+                  self.result.promotions, self.result.conserved)
         return self.result
 
     # -- events -------------------------------------------------------------------
@@ -235,13 +257,14 @@ class StartupSimulator:
         translate_cycles = instrs * self.costs.bbt_translate_cpi
         busy = instrs * self.costs.xlt_busy_per_instr
         self.result.m_bbt_instrs += instrs
-        self._advance(translate_cycles, 0.0, "bbt_translation", aux=busy)
+        self._advance(translate_cycles, 0.0, "bbt_translation", aux=busy,
+                      block=region.addr)
         if self._charges_cold_misses:
             fill = self.footprint.touch(self._shadow_addr(region),
                                         self._uop_bytes(region),
                                         self._l2_line_charge)
             self.result.cold_miss_cycles += fill
-            self._advance(fill, 0.0, "cold_miss")
+            self._advance(fill, 0.0, "cold_miss", block=region.addr)
 
     def _promote(self, region: Region) -> None:
         instrs = region.instr_count
@@ -250,13 +273,13 @@ class StartupSimulator:
         if not self._translates:
             return  # pre-translated scenarios: promotion is free
         cycles = instrs * self.costs.sbt_translate_cpi
-        self._advance(cycles, 0.0, "sbt_translation")
+        self._advance(cycles, 0.0, "sbt_translation", block=region.addr)
         if self._charges_cold_misses:
             fill = self.footprint.touch(
                 self._shadow_addr(region) + 0x0100_0000,
                 self._uop_bytes(region), self._l2_line_charge)
             self.result.cold_miss_cycles += fill
-            self._advance(fill, 0.0, "cold_miss")
+            self._advance(fill, 0.0, "cold_miss", block=region.addr)
 
     def _execute(self, region: Region, iterations: int, mode: str) -> None:
         instrs = float(region.instr_count) * iterations
@@ -280,7 +303,8 @@ class StartupSimulator:
             else:
                 category = "execution"
                 aux = cycles          # conventional decoders always on
-        self._advance(cycles, instrs, category, aux=aux)
+        self._advance(cycles, instrs, category, aux=aux,
+                      block=region.addr)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -293,11 +317,15 @@ class StartupSimulator:
         return max(int(region.byte_count * scale), 1)
 
     def _advance(self, cycles: float, instrs: float, category: str,
-                 aux: float = 0.0) -> None:
+                 aux: float = 0.0, block: Optional[int] = None) -> None:
         if cycles <= 0 and instrs <= 0:
             return
         breakdown = self.result.breakdown
         breakdown[category] = breakdown.get(category, 0.0) + cycles
+        # the ledger mirrors the breakdown totals and adds the
+        # per-interval phase timeline + per-region profiles; its clock
+        # equals sampler.cycles, so attribution is conservative
+        self.ledger.charge(category, cycles, block=block)
         self.sampler.advance(cycles, instrs, aux)
 
 

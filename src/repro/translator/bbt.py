@@ -20,12 +20,14 @@ Layout of a BBT translation::
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional
 
 from repro.faults.plane import fault_point
 from repro.isa.fusible.encoding import encode_stream, stream_length
 from repro.isa.fusible.microop import MicroOp
 from repro.memory.address_space import AddressSpace
+from repro.obs.metrics import metric_field
 from repro.translator.code_cache import (
     ExitStub,
     Translation,
@@ -43,6 +45,8 @@ from repro.translator.emit import (
 from repro.isa.fusible.opcodes import UOp
 from repro.isa.x86lite.instruction import Instruction
 from repro.verify.sanitizer import check_stream
+
+log = logging.getLogger("repro.translator")
 from repro.isa.x86lite.opcodes import Op
 from repro.isa.x86lite.registers import Cond
 
@@ -61,6 +65,13 @@ DELTA_BBT_CYCLES_ASSISTED = 20
 
 class BasicBlockTranslator:
     """Stage-1 translator; installs translations into the directory."""
+
+    # registry-backed statistics (shared registry via the directory)
+    blocks_translated = metric_field()
+    instrs_translated = metric_field(name="bbt_instrs_translated")
+    uops_emitted = metric_field(name="bbt_uops_emitted")
+    hw_assisted_instrs = metric_field()
+    hw_punted_instrs = metric_field()
 
     def __init__(self, directory: TranslationDirectory,
                  memory: AddressSpace,
@@ -81,7 +92,8 @@ class BasicBlockTranslator:
         #: the software path, falling back to software for punted cases.
         self.xlt_unit = xlt_unit
         self._next_counter = COUNTER_AREA_BASE
-        # statistics
+        # statistics (metric_field descriptors backed by this registry)
+        self.metrics = directory.metrics
         self.blocks_translated = 0
         self.instrs_translated = 0
         self.uops_emitted = 0
@@ -154,6 +166,9 @@ class BasicBlockTranslator:
         self.blocks_translated += 1
         self.instrs_translated += len(instrs)
         self.uops_emitted += len(uops)
+        self.metrics.histogram("bbt_block_instrs").observe(len(instrs))
+        log.debug("bbt: %#x -> %#x (%d instr(s), %d uop(s))",
+                  entry, native_addr, len(instrs), len(uops))
         return translation
 
     def _crack_one(self, instr: Instruction) -> List[MicroOp]:

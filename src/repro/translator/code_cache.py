@@ -17,6 +17,7 @@ lookup entries and profiling state.
 from __future__ import annotations
 
 import hashlib
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -25,7 +26,10 @@ from repro.isa.fusible.microop import MicroOp
 from repro.isa.fusible.opcodes import UOp
 from repro.isa.fusible.registers import R_EXIT_TARGET
 from repro.memory.address_space import AddressSpace
+from repro.obs.metrics import MetricsRegistry, metric_field
 from repro.verify.sanitizer import check_install
+
+log = logging.getLogger("repro.translator")
 
 #: Default placement of the two code caches.  They are adjacent so that a
 #: chained JMP (signed 24-bit byte offset, +/-8 MiB) can always reach
@@ -105,12 +109,20 @@ def masked_digest(data: bytes, mask_offsets: Iterable[int]) -> str:
 class CodeCache:
     """A bump-allocated native-code region with wholesale flush."""
 
+    # registry-backed statistics; both caches share the series names,
+    # distinguished by the ``cache=bbt`` / ``cache=sbt`` label
+    flushes = metric_field(name="code_cache_flushes")
+    bytes_installed_total = metric_field(name="code_cache_bytes_installed")
+
     def __init__(self, memory: AddressSpace, base: int, capacity: int,
-                 name: str) -> None:
+                 name: str,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.memory = memory
         self.base = base
         self.capacity = capacity
         self.name = name
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._metric_labels = {"cache": name}
         self._next = base
         self.translations: List[Translation] = []
         self.flushes = 0
@@ -147,6 +159,8 @@ class CodeCache:
             data, translation.integrity_mask())
         self.translations.append(translation)
         self.bytes_installed_total += len(data)
+        self.metrics.histogram("translation_bytes",
+                               cache=self.name).observe(len(data))
         return addr
 
     def reserve(self) -> int:
@@ -156,6 +170,8 @@ class CodeCache:
     def flush(self) -> List[Translation]:
         """Drop everything; returns the translations that were evicted."""
         evicted = self.translations
+        log.info("%s cache flush: %d translation(s), %d byte(s) evicted",
+                 self.name, len(evicted), self.used_bytes)
         self.memory.fill(self.base, self.used_bytes, 0)
         self._next = self.base
         self.translations = []
@@ -172,17 +188,33 @@ class TranslationDirectory:
     invalidate the affected entries and any chains into the flushed region.
     """
 
+    # registry-backed statistics (see repro.obs.metrics)
+    chains_made = metric_field()
+    chains_broken = metric_field()
+    lookups = metric_field()
+    lookup_misses = metric_field()
+    redirects_made = metric_field()
+
     def __init__(self, memory: AddressSpace,
                  bbt_base: int = BBT_CACHE_BASE,
                  bbt_capacity: int = BBT_CACHE_CAPACITY,
                  sbt_base: int = SBT_CACHE_BASE,
                  sbt_capacity: int = SBT_CACHE_CAPACITY,
-                 verify_on_install: bool = False) -> None:
+                 verify_on_install: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.memory = memory
         #: debug hook: verify every translation as it is installed
         self.verify_on_install = verify_on_install
-        self.bbt_cache = CodeCache(memory, bbt_base, bbt_capacity, "bbt")
-        self.sbt_cache = CodeCache(memory, sbt_base, sbt_capacity, "sbt")
+        #: the machine's metrics plane; shared with both caches, the
+        #: translators and the owning runtime
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: lifecycle event tracer; None (the default) costs one pointer
+        #: test per chain/flush/evict site
+        self.tracer = None
+        self.bbt_cache = CodeCache(memory, bbt_base, bbt_capacity, "bbt",
+                                   metrics=self.metrics)
+        self.sbt_cache = CodeCache(memory, sbt_base, sbt_capacity, "sbt",
+                                   metrics=self.metrics)
         self._bbt_lookup: Dict[int, Translation] = {}
         self._sbt_lookup: Dict[int, Translation] = {}
         #: x86 target -> stubs waiting to be chained to it
@@ -195,6 +227,7 @@ class TranslationDirectory:
         #: bbt native_addr -> (bbt translation, original first 4 bytes)
         self._redirects: Dict[int, Tuple[Translation, bytes]] = {}
         self.chains_made = 0
+        self.chains_broken = 0
         self.lookups = 0
         self.lookup_misses = 0
         self.redirects_made = 0
@@ -291,6 +324,10 @@ class TranslationDirectory:
         self.memory.write(stub.stub_addr, jmp)
         stub.chained_to = native_target
         self.chains_made += 1
+        if self.tracer is not None:
+            self.tracer.instant("chain.made",
+                                stub=f"{stub.stub_addr:#x}",
+                                target=f"{native_target:#x}")
 
     # -- flushing --------------------------------------------------------------
 
@@ -304,6 +341,9 @@ class TranslationDirectory:
         cache = self.cache_for(kind)
         low, high = cache.base, cache.base + cache.capacity
         evicted = cache.flush()
+        if self.tracer is not None:
+            self.tracer.instant("cache.flush", cache=kind,
+                                evicted=len(evicted))
         lookup = self._bbt_lookup if kind == "bbt" else self._sbt_lookup
         lookup.clear()
         for translation in evicted:
@@ -370,6 +410,9 @@ class TranslationDirectory:
         cache = self.cache_for(translation.kind)
         if translation in cache.translations:
             cache.translations.remove(translation)
+        if self.tracer is not None:
+            self.tracer.instant("cache.evict", cache=translation.kind,
+                                entry=f"{translation.entry:#x}")
         low = translation.native_addr
         high = translation.native_addr + translation.native_len
         lookup = (self._bbt_lookup if translation.kind == "bbt"
@@ -411,3 +454,7 @@ class TranslationDirectory:
                                  imm=(target >> 13)))
         self.memory.write(stub.stub_addr, lui)
         stub.chained_to = None
+        self.chains_broken += 1
+        if self.tracer is not None:
+            self.tracer.instant("chain.broken",
+                                stub=f"{stub.stub_addr:#x}")

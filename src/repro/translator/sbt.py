@@ -21,6 +21,7 @@ x86 instruction; optimized code runs p = 1.15–1.2x faster than BBT code.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional, Tuple
 
 from repro.faults.plane import fault_point
@@ -31,6 +32,7 @@ from repro.isa.fusible.opcodes import (
     UOp,
 )
 from repro.memory.address_space import AddressSpace
+from repro.obs.metrics import metric_field
 from repro.translator.code_cache import (
     ExitStub,
     Translation,
@@ -51,6 +53,8 @@ from repro.isa.x86lite.opcodes import Op
 from repro.isa.x86lite.registers import Cond
 from repro.verify.sanitizer import check_stream
 
+log = logging.getLogger("repro.translator")
+
 #: Paper-measured SBT translation overheads (Section 3.2).
 DELTA_SBT_X86_INSTRUCTIONS = 1152
 DELTA_SBT_NATIVE_INSTRUCTIONS = 1674
@@ -66,6 +70,14 @@ def invert_cond(cond: Cond) -> Cond:
 
 class SuperblockTranslator:
     """Stage-2 translator: forms, optimizes and installs superblocks."""
+
+    # registry-backed statistics (shared registry via the directory)
+    superblocks_translated = metric_field()
+    instrs_translated = metric_field(name="sbt_instrs_translated")
+    uops_emitted = metric_field(name="sbt_uops_emitted")
+    pairs_fused = metric_field()
+    flags_eliminated = metric_field()
+    loads_eliminated = metric_field()
 
     def __init__(self, directory: TranslationDirectory,
                  memory: AddressSpace,
@@ -84,7 +96,8 @@ class SuperblockTranslator:
         self.enable_load_elim = enable_load_elim
         #: debug mode: statically verify each stream before install
         self.verify = verify
-        # statistics
+        # statistics (metric_field descriptors backed by this registry)
+        self.metrics = directory.metrics
         self.superblocks_translated = 0
         self.instrs_translated = 0
         self.uops_emitted = 0
@@ -146,6 +159,12 @@ class SuperblockTranslator:
         self.instrs_translated += superblock.instr_count
         self.uops_emitted += len(uops)
         self.pairs_fused += stats.pairs
+        self.metrics.histogram("sbt_superblock_instrs").observe(
+            superblock.instr_count)
+        log.debug("sbt: %#x -> %#x (%d instr(s), %d uop(s), "
+                  "%d fused pair(s))", superblock.head,
+                  translation.native_addr, superblock.instr_count,
+                  len(uops), stats.pairs)
         return translation
 
     # -- body construction ------------------------------------------------------

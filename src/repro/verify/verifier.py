@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import replace
 from typing import List, Optional
 
 from repro.isa.fusible.encoding import UopDecodeError, decode_stream
 from repro.verify.report import VerifierReport, Violation
 from repro.verify.rules import RULES, VerifyContext
+
+log = logging.getLogger("repro.verify")
 
 #: Disassembly lines shown around each violation.
 CONTEXT_RADIUS = 2
@@ -74,6 +77,10 @@ def verify_translation(translation, memory=None,
     report = verify_uops(uops, translation=translation, memory=memory,
                          directory=directory)
     report.translations_checked = 1
+    if not report.ok:
+        log.warning("%s@%#x: %d invariant violation(s)",
+                    translation.kind, translation.entry,
+                    len(report.violations))
     return report
 
 

@@ -37,6 +37,9 @@ from repro.isa.fusible.machine import (
     FusibleMachine,
     NativeMachineError,
 )
+from repro.obs.ledger import CycleLedger, runtime_phase_costs
+from repro.obs.metrics import MetricsRegistry, metric_field
+from repro.obs.tracer import EventTracer
 from repro.isa.fusible.opcodes import VMService
 from repro.isa.x86lite.state import X86State
 from repro.hwassist.hotspot_detector import BranchBehaviorBuffer
@@ -73,6 +76,9 @@ class VMRuntimeError(Exception):
         self.mode = mode
         self.dispatches = dispatches
         self.native_pc = native_pc
+        #: flight-recorder dump attached by the runtime when tracing is
+        #: on: the last events before the failure, with fault context
+        self.flight_recording = None
         context = []
         if pc is not None:
             context.append(f"pc={pc:#x}")
@@ -107,6 +113,27 @@ class VMServiceFault(VMRuntimeError):
 class VMRuntime:
     """Orchestrates staged emulation over one architected machine state."""
 
+    # Every statistic is a registry-backed series (repro.obs.metrics):
+    # ``self.dispatches += 1`` updates the series, so ``stats()`` /
+    # ``ExecutionReport`` and the metrics plane can never diverge.
+    dispatches = metric_field()
+    vm_exits = metric_field()
+    interp_one_calls = metric_field()
+    profile_calls = metric_field()
+    bbt_full_flushes = metric_field()
+    sbt_full_flushes = metric_field()
+    sbt_retranslations = metric_field()
+    instructions_interpreted = metric_field()
+    total_uops_executed = metric_field(name="uops_executed")
+    translations_lost_in_flushes = metric_field()
+    bbt_retranslations = metric_field()
+    hotspot_retranslations = metric_field()
+    translation_faults = metric_field()
+    interpreted_fallback_instrs = metric_field()
+    integrity_faults_detected = metric_field()
+    integrity_retranslations = metric_field()
+    hotspot_misfires = metric_field()
+
     def __init__(self, state: X86State,
                  hot_threshold: int = 8000,
                  initial_emulation: str = "bbt",
@@ -120,7 +147,10 @@ class VMRuntime:
                  max_block_instrs: int = 64,
                  verify_translations: bool = False,
                  integrity_check_interval: int = 0,
-                 quarantine_max_retries: int = 3) -> None:
+                 quarantine_max_retries: int = 3,
+                 costs=None,
+                 trace: bool = False,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if initial_emulation not in ("bbt", "interp", "x86-mode"):
             raise ValueError(f"bad initial emulation {initial_emulation!r}")
         self.state = state
@@ -130,8 +160,34 @@ class VMRuntime:
         self.enable_chaining = enable_chaining
 
         self.machine = FusibleMachine(self.memory)
-        self.directory = directory if directory is not None \
-            else TranslationDirectory(self.memory)
+        if directory is not None:
+            self.directory = directory
+            # one registry per machine: adopt the directory's so runtime
+            # and translator counters share a single metrics plane
+            self.metrics = directory.metrics
+        else:
+            self.metrics = metrics if metrics is not None \
+                else MetricsRegistry()
+            self.directory = TranslationDirectory(self.memory,
+                                                  metrics=self.metrics)
+
+        # observability: the cycle ledger is the run's simulated clock
+        # (every charge is attributed to exactly one Eq. 1 phase); the
+        # tracer only exists when tracing is on, so hot-path hooks are
+        # a single ``is not None`` test on non-traced runs
+        self.phase_costs = runtime_phase_costs(costs)
+        self.ledger = CycleLedger()
+        self.tracer = EventTracer(clock=lambda: self.ledger.total) \
+            if trace else None
+        self.directory.tracer = self.tracer
+        if initial_emulation == "x86-mode":
+            self._interp_category = "x86_mode"
+            self._interp_cpi = self.phase_costs.x86_mode_cpi
+        else:
+            self._interp_category = "interpretation"
+            self._interp_cpi = self.phase_costs.interp_cpi
+        #: ledger category of the currently dispatched translation
+        self._exec_category = "bbt_execution"
         if verify_translations:
             # debug hook: statically verify translations as installed
             self.directory.verify_on_install = True
@@ -197,10 +253,16 @@ class VMRuntime:
     def run(self, max_uops: int = 50_000_000,
             max_dispatches: int = 1_000_000) -> None:
         """Emulate until the architected program halts."""
+        if self.tracer is not None:
+            self.tracer.instant("run.begin", mode=self.initial_emulation,
+                                pc=f"{self.state.eip:#x}")
         if self.initial_emulation == "bbt":
             self._run_translated(max_uops, max_dispatches)
         else:
             self._run_interpretive(max_uops, max_dispatches)
+        if self.tracer is not None:
+            self.tracer.instant("run.end", dispatches=self.dispatches,
+                                exit_code=self.state.exit_code)
 
     def _run_translated(self, max_uops: int, max_dispatches: int) -> None:
         """VM.soft / VM.be style: everything runs out of the code caches.
@@ -219,19 +281,21 @@ class VMRuntime:
             if translation is None:       # quarantined: emulate the block
                 self._interpret_fallback_block()
                 continue
+            self._exec_category = "bbt_execution" \
+                if translation.kind == "bbt" else "sbt_execution"
             copy_arch_to_native(self.state, self.machine)
             try:
                 event = self.machine.run(translation.native_addr,
                                          max_uops=budget)
             except NativeMachineError as exc:
-                raise NativeExecutionFault(
-                    str(exc), **self._error_context()) from exc
+                raise self._vm_error(NativeExecutionFault(
+                    str(exc), **self._error_context())) from exc
             budget -= self._service(event, budget)
             if budget <= 0:
-                raise UopBudgetExhausted("micro-op budget exhausted",
-                                         **self._error_context())
-        raise DispatchBudgetExhausted("dispatch budget exhausted",
-                                      **self._error_context())
+                raise self._vm_error(UopBudgetExhausted(
+                    "micro-op budget exhausted", **self._error_context()))
+        raise self._vm_error(DispatchBudgetExhausted(
+            "dispatch budget exhausted", **self._error_context()))
 
     def _run_interpretive(self, max_uops: int,
                           max_dispatches: int) -> None:
@@ -246,38 +310,62 @@ class VMRuntime:
             entry = self.state.eip
             sbt_translation = self.directory.lookup(entry)
             if sbt_translation is not None:
+                self._exec_category = "sbt_execution"
                 copy_arch_to_native(self.state, self.machine)
                 try:
                     event = self.machine.run(sbt_translation.native_addr,
                                              max_uops=budget)
                 except NativeMachineError as exc:
-                    raise NativeExecutionFault(
-                        str(exc), **self._error_context()) from exc
+                    raise self._vm_error(NativeExecutionFault(
+                        str(exc), **self._error_context())) from exc
                 budget -= self._service(event, budget)
                 if budget <= 0:
-                    raise UopBudgetExhausted(
+                    raise self._vm_error(UopBudgetExhausted(
                         "micro-op budget exhausted",
-                        **self._error_context())
+                        **self._error_context()))
                 continue
             self.profiler.record_entry(entry)
             self._maybe_optimize_hotspots()
             # emulate one basic block (up to and including its CTI)
+            block_instrs = 0
             while not self.state.halted:
                 instr = self.interp.step()
-                self.instructions_interpreted += 1
+                block_instrs += 1
                 if instr.is_control_transfer:
                     self.profiler.record_edge(entry, self.state.eip)
                     break
                 # non-CTI block boundary: a translated successor exists
                 if self.directory.has_translation(self.state.eip):
                     break
+            self.instructions_interpreted += block_instrs
+            self.ledger.charge(self._interp_category,
+                               block_instrs * self._interp_cpi,
+                               block=entry)
         else:
-            raise DispatchBudgetExhausted("dispatch budget exhausted",
-                                          **self._error_context())
+            raise self._vm_error(DispatchBudgetExhausted(
+                "dispatch budget exhausted", **self._error_context()))
 
     def _error_context(self) -> dict:
         return {"pc": self.state.eip, "mode": self.initial_emulation,
                 "dispatches": self.dispatches}
+
+    def _vm_error(self, error: VMRuntimeError) -> VMRuntimeError:
+        """Attach a flight-recorder dump before an error propagates.
+
+        Returns the same exception, with ``flight_recording`` populated
+        when tracing is on: the last events before the failure plus the
+        faulting pc/mode/dispatch context (the forensic artifact the
+        chaos harness and ``docs/observability.md`` build on).
+        """
+        if self.tracer is not None and error.flight_recording is None:
+            error.flight_recording = self.tracer.flight_dump(
+                type(error).__name__,
+                pc=f"{self.state.eip:#x}" if error.pc is None
+                else f"{error.pc:#x}",
+                mode=error.mode or self.initial_emulation,
+                dispatches=error.dispatches
+                if error.dispatches is not None else self.dispatches)
+        return error
 
     # -- self-healing ----------------------------------------------------------
 
@@ -300,10 +388,12 @@ class VMRuntime:
         cold block — detect-and-retranslate, never execute rot.
         """
         directory = self.directory
+        found = 0
         for cache in (directory.bbt_cache, directory.sbt_cache):
             for translation in list(cache.translations):
                 if directory.verify_integrity(translation):
                     continue
+                found += 1
                 self.integrity_faults_detected += 1
                 self._integrity_evicted_entries.add(
                     (translation.entry, translation.kind))
@@ -311,7 +401,13 @@ class VMRuntime:
                     "code-cache corruption: %s copy of %#x evicted "
                     "(will retranslate on demand)",
                     translation.kind, translation.entry)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "integrity.hit", kind=translation.kind,
+                        entry=f"{translation.entry:#x}")
                 directory.evict(translation)
+        if found and self.tracer is not None:
+            self.tracer.instant("integrity.sweep", evicted=found)
 
     def _interpret_fallback_block(self) -> None:
         """Emulate one basic block whose translation is unavailable.
@@ -322,14 +418,19 @@ class VMRuntime:
         to the translated path by construction (the cross-configuration
         equivalence tests pin this down).
         """
+        entry = self.state.eip
+        block_instrs = 0
         while not self.state.halted:
             instr = self.interp.step()
-            self.instructions_interpreted += 1
-            self.interpreted_fallback_instrs += 1
+            block_instrs += 1
             if instr.is_control_transfer:
                 break
             if self.directory.has_translation(self.state.eip):
                 break
+        self.instructions_interpreted += block_instrs
+        self.interpreted_fallback_instrs += block_instrs
+        self.ledger.charge(self._interp_category,
+                           block_instrs * self._interp_cpi, block=entry)
 
     # -- translation policy ----------------------------------------------------
 
@@ -348,6 +449,10 @@ class VMRuntime:
         if not self.quarantine.may_translate(entry, "bbt",
                                              self.dispatches):
             return None
+        tracer = self.tracer
+        if tracer is not None and entry not in self._bbt_entries_ever:
+            tracer.instant("block.first_exec", entry=f"{entry:#x}")
+        start = self.ledger.total
         try:
             try:
                 translation = self.bbt.translate(entry)
@@ -363,6 +468,14 @@ class VMRuntime:
         except Exception as exc:   # noqa: BLE001 - degrade, never crash
             self._note_translation_fault(entry, "bbt", exc)
             return None
+        self.ledger.charge(
+            "bbt_translation",
+            translation.instr_count * self.phase_costs.bbt_translate_cpi,
+            block=entry)
+        if tracer is not None:
+            tracer.complete("translate.bbt", start, entry=f"{entry:#x}",
+                            instrs=translation.instr_count,
+                            uops=translation.uop_count)
         self.quarantine.record_success(entry, "bbt")
         if (entry, "bbt") in self._integrity_evicted_entries:
             self._integrity_evicted_entries.discard((entry, "bbt"))
@@ -384,6 +497,10 @@ class VMRuntime:
         if not self.quarantine.may_translate(entry, "sbt",
                                              self.dispatches):
             return None
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("hotspot.promote", entry=f"{entry:#x}")
+        start = self.ledger.total
         edges = getattr(self.profiler, "edges", _NO_EDGES)
         try:
             try:
@@ -401,6 +518,15 @@ class VMRuntime:
         except Exception as exc:   # noqa: BLE001 - degrade, never crash
             self._note_translation_fault(entry, "sbt", exc)
             return None
+        self.ledger.charge(
+            "sbt_translation",
+            translation.instr_count * self.phase_costs.sbt_translate_cpi,
+            block=entry)
+        if tracer is not None:
+            tracer.complete("translate.sbt", start, entry=f"{entry:#x}",
+                            instrs=translation.instr_count,
+                            uops=translation.uop_count,
+                            fused_pairs=translation.fused_pairs)
         self.quarantine.record_success(entry, "sbt")
         if (entry, "sbt") in self._integrity_evicted_entries:
             self._integrity_evicted_entries.discard((entry, "sbt"))
@@ -415,6 +541,13 @@ class VMRuntime:
         self.translation_faults += 1
         record = self.quarantine.record_failure(entry, kind,
                                                 self.dispatches, error)
+        if self.tracer is not None:
+            self.tracer.instant("fault.translation", kind=kind,
+                                entry=f"{entry:#x}",
+                                error=type(error).__name__)
+            self.tracer.instant(
+                "quarantine.degrade" if record.degraded
+                else "quarantine.add", kind=kind, entry=f"{entry:#x}")
         log.warning(
             "%s translation of %#x failed (%s: %s); %s", kind, entry,
             type(error).__name__, error,
@@ -427,6 +560,9 @@ class VMRuntime:
             # a misfiring detector reported a never-executed address;
             # the attempt must fail into the quarantine harmlessly
             self.hotspot_misfires += 1
+            if self.tracer is not None:
+                self.tracer.instant("hotspot.misfire",
+                                    entry=f"{bogus:#x}")
             self._optimize(bogus)
         while True:
             hot_entry = self.profiler.take_hot()
@@ -441,6 +577,8 @@ class VMRuntime:
         consumed = self.machine.uops_executed
         self.machine.uops_executed = 0
         self.total_uops_executed += consumed
+        self.ledger.charge(self._exec_category,
+                           consumed * self.phase_costs.uop_cycles)
         copy_native_to_arch(self.machine, self.state)
         self.vm_exits += 1
 
@@ -465,17 +603,17 @@ class VMRuntime:
                 resumed = self.machine.run(event.resume_pc,
                                            max_uops=remaining)
             except NativeMachineError as exc:
-                raise NativeExecutionFault(
+                raise self._vm_error(NativeExecutionFault(
                     str(exc), native_pc=event.resume_pc,
-                    **self._error_context()) from exc
+                    **self._error_context())) from exc
             return consumed + self._service(resumed, remaining)
         if service is VMService.INTERP_ONE:
             self.interp_one_calls += 1
             self._service_interp_one(event)
             return consumed
-        raise VMServiceFault(f"unknown VMCALL service {event.value}",
-                             native_pc=event.native_pc,
-                             **self._error_context())
+        raise self._vm_error(VMServiceFault(
+            f"unknown VMCALL service {event.value}",
+            native_pc=event.native_pc, **self._error_context()))
 
     def _note_exit_edge(self, event: ExitEvent, target: int) -> None:
         """Record the control edge and chain the exiting stub."""
@@ -494,9 +632,9 @@ class VMRuntime:
         """A BBT block's countdown counter hit zero: apply hot policy."""
         resolved = self.directory.resolve_side_table(event.native_pc)
         if resolved is None:
-            raise VMServiceFault(
+            raise self._vm_error(VMServiceFault(
                 "PROFILE vmcall without side-table entry",
-                native_pc=event.native_pc, **self._error_context())
+                native_pc=event.native_pc, **self._error_context()))
         entry, translation = resolved
         self.profiler.record_entry(entry, self.hot_threshold)
         self._maybe_optimize_hotspots()
@@ -512,18 +650,44 @@ class VMRuntime:
         """
         resolved = self.directory.resolve_side_table(event.native_pc)
         if resolved is None:
-            raise VMServiceFault(
+            raise self._vm_error(VMServiceFault(
                 "INTERP_ONE vmcall without side-table entry",
-                native_pc=event.native_pc, **self._error_context())
+                native_pc=event.native_pc, **self._error_context()))
         x86_addr, _translation = resolved
         self.state.eip = x86_addr
         self.interp.step()
         self.instructions_interpreted += 1
+        self.ledger.charge(self._interp_category, self._interp_cpi,
+                           block=x86_addr)
 
     # -- aggregate statistics ------------------------------------------------------
 
+    def _sync_gauges(self) -> None:
+        """Mirror snapshot-time values into the metrics registry.
+
+        Per-micro-op machine counters and derived values (quarantine
+        depth, warm-start outcome) stay plain attributes on the hot
+        path; this publishes them as gauges so the registry is a
+        complete single source of truth at every ``stats()`` call.
+        """
+        report = self.persist_report
+        gauge = self.metrics.gauge
+        gauge("fused_pairs_seen").set(self.machine.fused_pairs_seen)
+        gauge("blocks_quarantined").set(self.quarantine.quarantined)
+        gauge("blocks_degraded").set(self.quarantine.degraded)
+        gauge("persist_loaded").set(report.loaded if report else 0)
+        gauge("persist_dropped").set(report.dropped if report else 0)
+        gauge("persist_chains_restored").set(
+            report.chains_restored if report else 0)
+        gauge("xltx86_invocations").set(
+            self.bbt.xlt_unit.invocations if self.bbt.xlt_unit else 0)
+        gauge("sim_cycles_total").set(self.ledger.total)
+        for phase, cycles in self.ledger.totals().items():
+            gauge("phase_cycles", phase=phase).set(cycles)
+
     def stats(self) -> dict:
         """Snapshot of runtime counters across all components."""
+        self._sync_gauges()
         return {
             "dispatches": self.dispatches,
             "vm_exits": self.vm_exits,
@@ -562,6 +726,9 @@ class VMRuntime:
             "integrity_faults_detected": self.integrity_faults_detected,
             "integrity_retranslations": self.integrity_retranslations,
             "hotspot_misfires": self.hotspot_misfires,
+            # cycle attribution (Eq. 1 phases; conserved by construction)
+            "total_cycles": self.ledger.total,
+            "phase_cycles": self.ledger.totals(),
         }
 
 

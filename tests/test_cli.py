@@ -82,6 +82,44 @@ class TestAnalysisCommands:
             main([])
 
 
+class TestObservabilityCommands:
+    def test_trace_writes_valid_perfetto_json(self, tmp_path, capsys):
+        out_file = str(tmp_path / "run.json")
+        code = main(["trace", "checksum", "--out", out_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "perfetto" in out
+        with open(out_file) as handle:
+            doc = json.load(handle)
+        from repro.obs.export import validate_trace
+        assert validate_trace(doc) == []
+        assert doc["metadata"]["workload"] == "checksum"
+
+    def test_trace_stdout_is_json(self, capsys):
+        code = main(["trace", "checksum"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert doc["conserved"] is True
+
+    def test_profile_workload_prints_attribution(self, capsys):
+        code = main(["profile", "checksum", "--top", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycle attribution" in out
+        assert "bbt_translation" in out
+        assert "BBT translation" in out
+
+    def test_trace_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "no-such-workload"])
+
+    def test_log_level_flag(self, capsys):
+        code = main(["--log-level", "debug", "configs"])
+        assert code == 0
+        with pytest.raises(SystemExit):
+            main(["--log-level", "shouting", "configs"])
+
+
 class TestVerifyCommand:
     def test_single_workload_verifies_clean(self, capsys):
         code = main(["verify", "--workload", "fibonacci"])
