@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-smoke chaos trace-smoke examples figures clean
+.PHONY: install test lint verify bench bench-smoke chaos trace-smoke serve-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -30,7 +30,7 @@ lint:
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint bench-smoke chaos trace-smoke
+verify: lint bench-smoke chaos trace-smoke serve-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -55,6 +55,12 @@ chaos:
 # measurable on the throughput hot loop (docs/observability.md).
 trace-smoke:
 	$(PYTHON) tools/trace_smoke.py
+
+# Shared-cache server gate: spawn a real server subprocess, push and
+# warm-boot through it, then kill -9 it — degraded clients must still
+# reproduce the cold run's architected results (docs/cache_server.md).
+serve-smoke:
+	$(PYTHON) tools/server_smoke.py
 
 # Run every example script end to end.
 examples:

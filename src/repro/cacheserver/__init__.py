@@ -1,0 +1,46 @@
+"""Shared translation-cache server (the server-consolidation scenario).
+
+Many VM instances booting the same images should pay for one
+translation pass, not N: this package serves the PR-2 persistent
+repository over a Unix/TCP socket so instances pull warm-start payloads
+from, and push fresh translations into, one shared store.
+
+* :mod:`repro.cacheserver.protocol` — length-prefixed, CRC-checked
+  JSON frames shared by client and server;
+* :mod:`repro.cacheserver.server` — the threaded server, writer-lease
+  serialized writes, server-side record validation, cross-workload
+  content-addressed dedup.
+
+The fault-tolerant *client* is
+:class:`repro.persist.remote.RemoteRepository` — it lives with the
+other repositories because the VM treats it as just another repository
+that happens to degrade gracefully (timeouts, bounded retries with
+backoff, a circuit breaker, local/cold fallback).
+
+See ``docs/cache_server.md`` for the protocol and the failure matrix.
+"""
+
+from repro.cacheserver.protocol import (
+    HEADER_SIZE,
+    MAX_PAYLOAD,
+    ProtocolError,
+    RETRYABLE_ERRORS,
+    decode_frame,
+    encode_frame,
+    recv_message,
+    send_message,
+)
+from repro.cacheserver.server import CacheServer, ServerStats
+
+__all__ = [
+    "CacheServer",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "ProtocolError",
+    "RETRYABLE_ERRORS",
+    "ServerStats",
+    "decode_frame",
+    "encode_frame",
+    "recv_message",
+    "send_message",
+]

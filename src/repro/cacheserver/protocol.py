@@ -1,0 +1,142 @@
+"""Wire protocol for the translation-cache server.
+
+One message is one *frame*::
+
+    MAGIC(4 = b"RTC1") | length u32 BE | crc32 u32 BE | payload bytes
+
+The payload is a JSON object (UTF-8).  The CRC covers the payload, so a
+torn or bit-flipped frame is detected before JSON parsing ever sees it;
+the length field is bounded so a corrupt header cannot make a peer
+allocate gigabytes.  Frames are symmetric — requests and responses use
+the same envelope.
+
+Requests are ``{"op": <name>, ...}``; responses are
+``{"ok": true, ...}`` or ``{"ok": false, "error": <category>,
+"detail": <text>}``.  Error categories are machine-matchable (the
+client's retry policy keys on them): ``lease-busy`` is retryable,
+``bad-request`` / ``internal`` are not.
+
+Operations (see ``docs/cache_server.md`` for the full matrix):
+
+* ``ping`` — liveness probe; echoes the server's repository root.
+* ``pull`` — fetch the records for one (config, image) fingerprint
+  pair, plus the manifest entry count so the client can report
+  missing objects exactly like a local load.
+* ``push`` — upload records; the server saves them under its writer
+  lease and reports how many objects were newly written vs deduped
+  against content-addressed objects other workloads already stored.
+* ``manifest`` — entry count only (cheap existence probe).
+* ``stats`` — repository stats plus the server's request counters.
+
+This module is socket-free on purpose: everything here is pure
+bytes <-> dict, so the client, the server and the tests share one
+codec and the fault plane can corrupt payloads in a type-safe way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, Tuple
+
+MAGIC = b"RTC1"
+_HEADER = struct.Struct("!4sII")
+HEADER_SIZE = _HEADER.size
+
+#: Hard bound on one frame's payload.  A full manifest of records for a
+#: seed workload is ~100 KB; 64 MiB leaves room for real programs while
+#: keeping a corrupt length field from looking like an allocation bomb.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+#: Error categories a server may return; the client retries only these.
+RETRYABLE_ERRORS = frozenset({"lease-busy"})
+
+
+class ProtocolError(Exception):
+    """A frame failed structural validation (magic/length/CRC/JSON)."""
+
+
+def encode_frame(message: Dict) -> bytes:
+    """dict -> one framed message (header + JSON payload)."""
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode()
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame bound")
+    return _HEADER.pack(MAGIC, len(payload),
+                        zlib.crc32(payload)) + payload
+
+
+def decode_header(header: bytes) -> Tuple[int, int]:
+    """Validated (length, crc) from one raw header."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"short header ({len(header)} bytes)")
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"frame length {length} exceeds bound")
+    return length, crc
+
+
+def decode_payload(payload: bytes, crc: int) -> Dict:
+    """Validated payload bytes -> message dict."""
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError("payload checksum mismatch")
+    try:
+        message = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"payload is not JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not an object")
+    return message
+
+
+def decode_frame(frame: bytes) -> Dict:
+    """One complete in-memory frame -> message dict (tests/tools)."""
+    length, crc = decode_header(frame[:HEADER_SIZE])
+    payload = frame[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"payload length {len(payload)} != header {length}")
+    return decode_payload(payload, crc)
+
+
+# -- socket helpers ----------------------------------------------------------
+
+def recv_exactly(sock, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise on a mid-frame EOF."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock, message: Dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_message(sock) -> Dict:
+    length, crc = decode_header(recv_exactly(sock, HEADER_SIZE))
+    return decode_payload(recv_exactly(sock, length), crc)
+
+
+# -- response envelopes ------------------------------------------------------
+
+def ok(**fields) -> Dict:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error(category: str, detail: str = "") -> Dict:
+    return {"ok": False, "error": category, "detail": detail}

@@ -1,0 +1,344 @@
+"""The shared translation-cache server.
+
+One :class:`CacheServer` wraps one on-disk
+:class:`~repro.persist.TranslationRepository` and serves it to many VM
+instances over a Unix or TCP socket (length-prefixed JSON frames, see
+:mod:`repro.cacheserver.protocol`).  This is the paper's
+server-consolidation scenario made concrete: N instances booting the
+same images amortize one translation pass through one warm store.
+
+Design points:
+
+* **thread-per-connection** (``socketserver.ThreadingMixIn``) with
+  persistent connections — a client keeps one socket open across its
+  manifest/pull/push sequence;
+* **writes go through the repository's writer lease**, so handler
+  threads, other server processes and direct local savers all
+  serialize identically; a contended lease surfaces to the client as a
+  retryable ``lease-busy`` error instead of a torn manifest;
+* **server-side validation**: pushed records are structurally
+  validated (content key recomputed) before they touch the store, so
+  one corrupt client cannot poison the cache other instances pull
+  from;
+* **dedup is inherent and reported**: objects are content-addressed,
+  so a push whose records were already stored by another workload
+  (shared library code) writes nothing and the response says how many
+  records were deduplicated;
+* the server **never trusts the network**: any protocol violation on a
+  connection answers with an error frame when possible and drops the
+  connection, never the process.
+
+The server is deliberately dumb about *correctness* of translations —
+every client re-fingerprints sources and re-screens records through
+the verifier at load, so a stale or hostile server can waste a
+client's time but never change its architected results.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.cacheserver import protocol
+from repro.persist.format import PersistFormatError, validate_record
+from repro.persist.repository import TranslationRepository
+
+log = logging.getLogger("repro.cacheserver")
+
+
+class ServerStats:
+    """Thread-safe request counters (the ``stats`` op reports these)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Dict[str, int] = {}
+        self.errors = 0
+        self.connections = 0
+        self.records_served = 0
+        self.records_received = 0
+        self.objects_deduped = 0
+        self.records_rejected = 0
+        self.lease_busy = 0
+
+    def count(self, attr: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + amount)
+
+    def count_request(self, op: str) -> None:
+        with self._lock:
+            self.requests[op] = self.requests.get(op, 0) + 1
+
+    def to_dict(self) -> Dict:
+        with self._lock:
+            return {
+                "requests": dict(sorted(self.requests.items())),
+                "errors": self.errors,
+                "connections": self.connections,
+                "records_served": self.records_served,
+                "records_received": self.records_received,
+                "objects_deduped": self.objects_deduped,
+                "records_rejected": self.records_rejected,
+                "lease_busy": self.lease_busy,
+            }
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: loop request frames until the client hangs up."""
+
+    def handle(self) -> None:   # pragma: no cover - exercised via sockets
+        server: CacheServer = self.server.cache_server
+        sock = self.request
+        sock.settimeout(server.connection_timeout)
+        server.stats.count("connections")
+        while True:
+            try:
+                first = sock.recv(1)
+            except (socket.timeout, OSError):
+                return
+            if not first:
+                return          # clean EOF between frames
+            try:
+                header = first + protocol.recv_exactly(
+                    sock, protocol.HEADER_SIZE - 1)
+                length, crc = protocol.decode_header(header)
+                payload = protocol.recv_exactly(sock, length)
+                request = protocol.decode_payload(payload, crc)
+            except protocol.ProtocolError as error:
+                server.stats.count("errors")
+                log.warning("dropping connection: %s", error)
+                self._try_send(sock, protocol.error("bad-request",
+                                                    str(error)))
+                return
+            except (socket.timeout, OSError):
+                return
+            response = server.dispatch(request)
+            if not self._try_send(sock, response):
+                return
+
+    @staticmethod
+    def _try_send(sock, message: Dict) -> bool:
+        try:
+            protocol.send_message(sock, message)
+            return True
+        except OSError:
+            return False
+
+
+class _TCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+    class _UnixServer(socketserver.ThreadingMixIn,
+                      socketserver.UnixStreamServer):
+        daemon_threads = True
+else:                                                # pragma: no cover
+    _UnixServer = None
+
+
+class CacheServer:
+    """Serve one translation repository over a Unix or TCP socket."""
+
+    def __init__(self, repository, socket_path=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 tracer=None, lease_timeout: float = 5.0,
+                 connection_timeout: float = 30.0) -> None:
+        if isinstance(repository, TranslationRepository):
+            self.repository = repository
+        else:
+            self.repository = TranslationRepository(repository)
+        self.socket_path = str(socket_path) if socket_path else None
+        self.host = host
+        self.port = port
+        self.tracer = tracer
+        self.lease_timeout = lease_timeout
+        self.connection_timeout = connection_timeout
+        self.stats = ServerStats()
+        self._server: Optional[socketserver.BaseServer] = None
+        self._thread: Optional[threading.Thread] = None
+        #: serializes pushes in-process so the lease_failures delta
+        #: check below cannot be confused by a sibling handler thread
+        self._push_lock = threading.Lock()
+        self._trace_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """Connectable address string (``unix:<path>`` or ``host:port``)."""
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> str:
+        """Bind and serve in a daemon thread; returns the address."""
+        self._bind()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="cacheserver", daemon=True)
+        self._thread.start()
+        self._trace("server.start", address=self.address)
+        log.info("cache server for %s listening on %s",
+                 self.repository.root, self.address)
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (the CLI path)."""
+        self._bind()
+        self._trace("server.start", address=self.address)
+        log.info("cache server for %s listening on %s",
+                 self.repository.root, self.address)
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self.stop()
+
+    def _bind(self) -> None:
+        if self._server is not None:
+            return
+        if self.socket_path is not None:
+            if _UnixServer is None:          # pragma: no cover
+                raise RuntimeError("unix sockets unsupported here; "
+                                   "use a TCP port")
+            Path(self.socket_path).parent.mkdir(parents=True,
+                                                exist_ok=True)
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+            self._server = _UnixServer(self.socket_path, _Handler,
+                                       bind_and_activate=True)
+        else:
+            self._server = _TCPServer((self.host, self.port), _Handler,
+                                      bind_and_activate=True)
+            self.port = self._server.server_address[1]
+        self._server.cache_server = self
+
+    def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self.socket_path is not None:
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+        self._trace("server.stop", address=self.address)
+
+    def __enter__(self) -> "CacheServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _trace(self, name: str, **args) -> None:
+        if self.tracer is None:
+            return
+        with self._trace_lock:
+            self.tracer.instant(name, **args)
+
+    # -- request dispatch ---------------------------------------------------
+
+    def dispatch(self, request: Dict) -> Dict:
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None) \
+            if isinstance(op, str) else None
+        if handler is None:
+            self.stats.count("errors")
+            return protocol.error("bad-request", f"unknown op {op!r}")
+        self.stats.count_request(op)
+        self._trace("server.request", op=op)
+        try:
+            return handler(request)
+        except Exception as error:   # noqa: BLE001 - the connection
+            # must get an answer and the server must outlive any bug
+            self.stats.count("errors")
+            log.exception("op %s failed", op)
+            return protocol.error(
+                "internal", f"{type(error).__name__}: {error}")
+
+    @staticmethod
+    def _fingerprints(request: Dict):
+        config_fp = request.get("config_fp")
+        image_fp = request.get("image_fp")
+        if not isinstance(config_fp, str) or not isinstance(image_fp, str):
+            return None
+        return config_fp, image_fp
+
+    def _op_ping(self, request: Dict) -> Dict:
+        return protocol.ok(root=str(self.repository.root))
+
+    def _op_manifest(self, request: Dict) -> Dict:
+        pair = self._fingerprints(request)
+        if pair is None:
+            return protocol.error("bad-request", "missing fingerprints")
+        return protocol.ok(
+            entries=self.repository.manifest_entry_count(*pair))
+
+    def _op_pull(self, request: Dict) -> Dict:
+        pair = self._fingerprints(request)
+        if pair is None:
+            return protocol.error("bad-request", "missing fingerprints")
+        records = self.repository.load(*pair)
+        self.stats.count("records_served", len(records))
+        return protocol.ok(
+            records=records,
+            manifest_entries=self.repository.manifest_entry_count(*pair))
+
+    def _op_push(self, request: Dict) -> Dict:
+        pair = self._fingerprints(request)
+        records = request.get("records")
+        if pair is None or not isinstance(records, list):
+            return protocol.error("bad-request",
+                                  "missing fingerprints or records")
+        valid = []
+        rejected = 0
+        for record in records:
+            try:
+                validate_record(record)
+            except PersistFormatError:
+                rejected += 1
+                continue
+            valid.append(record)
+        self.stats.count("records_received", len(records))
+        self.stats.count("records_rejected", rejected)
+        config_name = request.get("config_name")
+        if not isinstance(config_name, str):
+            config_name = ""
+        with self._push_lock:
+            failures_before = self.repository.lease_failures
+            written = self.repository.save(
+                valid, *pair, config_name=config_name,
+                lease_timeout=self.lease_timeout)
+            lease_failed = \
+                self.repository.lease_failures > failures_before
+        if lease_failed:
+            self.stats.count("lease_busy")
+            return protocol.error(
+                "lease-busy",
+                "another writer holds the repository lease")
+        deduped = max(0, len(valid) - written)
+        self.stats.count("objects_deduped", deduped)
+        return protocol.ok(written=written, deduped=deduped,
+                           rejected=rejected)
+
+    def _op_stats(self, request: Dict) -> Dict:
+        stats = self.repository.stats()
+        return protocol.ok(
+            repository={
+                "root": stats.root,
+                "objects": stats.objects,
+                "total_bytes": stats.total_bytes,
+                "clock": stats.clock,
+                "manifests": stats.manifests,
+            },
+            server=self.stats.to_dict())

@@ -31,6 +31,15 @@ Commands:
   repairs on-disk damage — torn writes, corrupt objects, dangling
   manifest references (see :mod:`repro.persist`, ``docs/persistence.md``
   and ``docs/robustness.md``).
+* ``cache {push,pull} PROGRAM --server ADDR [--timeout S] [--retries N]``
+  — the same save/load flows through a shared translation-cache server
+  (``unix:<path>`` or ``host:port``): ``push`` uploads a cold run's
+  translations, ``pull`` warm-starts from the server.  Any server
+  failure degrades to the local ``--cache-dir`` repository and
+  ultimately to cold translation (see ``docs/cache_server.md``).
+* ``serve [--socket PATH | --port N] [--cache-dir DIR]`` — run the
+  shared translation-cache server over one repository until
+  interrupted.
 """
 
 from __future__ import annotations
@@ -254,9 +263,49 @@ def _program_source(name_or_path: str) -> str:
             f"({sorted(PROGRAMS)}) nor a readable file: {error}")
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.cacheserver import CacheServer
+    if args.socket and args.port:
+        raise SystemExit("choose one of --socket and --port")
+    server = CacheServer(args.cache_dir, socket_path=args.socket,
+                         host=args.host, port=args.port)
+    address = server.start()
+    print(f"serving translation cache {args.cache_dir} on {address}",
+          flush=True)
+    try:
+        if args.max_seconds is not None:
+            _time.sleep(args.max_seconds)
+        else:   # pragma: no cover - interactive path
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:   # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+        stats = server.stats.to_dict()
+        print(f"served {sum(stats['requests'].values())} request(s) "
+              f"over {stats['connections']} connection(s); "
+              f"{stats['records_served']} record(s) served, "
+              f"{stats['records_received']} received "
+              f"({stats['objects_deduped']} deduped)")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
-    from repro.persist import TranslationRepository
-    repo = TranslationRepository(args.cache_dir)
+    from repro.persist import RemoteRepository, TranslationRepository
+    remote = None
+    if args.action in ("push", "pull"):
+        if not args.server:
+            raise SystemExit(f"cache {args.action} requires --server "
+                             "(unix:<path> or host:port)")
+        remote = RemoteRepository(args.server, local=args.cache_dir,
+                                  timeout=args.timeout,
+                                  retries=args.retries)
+        repo = remote
+    else:
+        repo = TranslationRepository(args.cache_dir)
 
     if args.action == "stats":
         print(repo.stats().format())
@@ -283,19 +332,22 @@ def cmd_cache(args: argparse.Namespace) -> int:
     config = _config_by_name(args.config)
     vm = CoDesignedVM(config, hot_threshold=args.hot_threshold)
     vm.load(assemble(source))
+    destination = args.server if remote is not None else args.cache_dir
 
-    if args.action == "save":
+    if args.action in ("save", "push"):
         # cold run to populate the code caches, then snapshot them
         report = vm.run(max_instructions=args.max_instructions)
         written = vm.save_translations(repo)
         print(report.summary())
         print(f"\nsaved {written} new translation record(s) "
-              f"to {args.cache_dir}")
+              f"to {destination}")
+        _print_degradation(remote)
         return report.exit_code or 0
 
-    # action == "load": warm-start from the repository, then run
+    # load/pull: warm-start from the repository/server, then run
     load_report = vm.warm_start(repo)
     print(load_report.format())
+    _print_degradation(remote)
     print()
     report = vm.run(max_instructions=args.max_instructions)
     for item in report.output:
@@ -303,6 +355,18 @@ def cmd_cache(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
     return report.exit_code or 0
+
+
+def _print_degradation(remote) -> None:
+    """One line when a shared-cache request had to degrade."""
+    if remote is None:
+        return
+    stats = remote.remote_stats
+    if stats.fallbacks or stats.retries:
+        print(f"shared cache: {stats.requests} request(s), "
+              f"{stats.retries} retrie(s), {stats.fallbacks} "
+              f"fallback(s) to local/cold "
+              f"(breaker opened {stats.breaker_opens}x)")
 
 
 def cmd_configs(_args: argparse.Namespace) -> int:
@@ -404,14 +468,37 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable violation report")
     verify.set_defaults(func=cmd_verify)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a translation repository to other VM instances")
+    serve.add_argument("--socket", default=None,
+                       help="listen on a Unix socket at this path")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: ephemeral; ignored "
+                            "with --socket)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="repository directory to serve "
+                            "(default: .repro-cache)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="exit after this many seconds "
+                            "(smoke tests; default: run until ^C)")
+    serve.set_defaults(func=cmd_serve)
+
     cache = sub.add_parser(
         "cache",
-        help="persistent translation repository (save/load/stats/gc)")
+        help="persistent translation repository "
+             "(save/load/push/pull/stats/gc)")
     cache.add_argument("action",
-                       choices=["save", "load", "stats", "gc", "fsck"],
+                       choices=["save", "load", "push", "pull",
+                                "stats", "gc", "fsck"],
                        help="save: cold run + snapshot translations; "
                             "load: warm-start from the repository and "
-                            "run; stats: repository summary; gc: evict "
+                            "run; push/pull: the same through a shared "
+                            "cache server (--server), degrading to the "
+                            "local repository on any failure; stats: "
+                            "repository summary; gc: evict "
                             "LRU records down to a size budget; fsck: "
                             "check (and with --repair, fix) the store")
     cache.add_argument("program", nargs="?", default=None,
@@ -424,6 +511,15 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--hot-threshold", type=int, default=None)
     cache.add_argument("--max-instructions", type=int,
                        default=10_000_000)
+    cache.add_argument("--server", default=None,
+                       help="shared cache server address for push/pull "
+                            "(unix:<path> or host:port)")
+    cache.add_argument("--timeout", type=float, default=2.0,
+                       help="per-request server timeout in seconds "
+                            "(default 2.0)")
+    cache.add_argument("--retries", type=int, default=3,
+                       help="retry budget per server request "
+                            "(default 3)")
     cache.add_argument("--budget", type=int, default=64 * 1024 * 1024,
                        help="gc size budget in bytes (default 64 MiB)")
     cache.add_argument("--repair", action="store_true",

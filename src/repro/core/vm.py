@@ -50,6 +50,8 @@ class CoDesignedVM:
         self.xlt_unit: Optional[XLTx86Unit] = None
         self._loaded = False
         self._image: Optional[Image] = None
+        #: the repository last used for save/warm_start (stats surface)
+        self._last_repository = None
 
     # -- setup ------------------------------------------------------------
 
@@ -118,10 +120,20 @@ class CoDesignedVM:
     # -- persistent translation cache --------------------------------------
 
     def _repository(self, repository):
+        """Coerce paths to a local repository; pass repository objects
+        (local or :class:`~repro.persist.RemoteRepository`) through.
+
+        Remote repositories additionally get the run's tracer bound, so
+        client-side retries/fallbacks land in this run's event stream
+        and flight recorder.
+        """
         from repro.persist import TranslationRepository
-        if isinstance(repository, TranslationRepository):
-            return repository
-        return TranslationRepository(repository)
+        if isinstance(repository, (str, bytes)) or \
+                hasattr(repository, "__fspath__"):
+            repository = TranslationRepository(repository)
+        if hasattr(repository, "bind_tracer") and self.tracer is not None:
+            repository.bind_tracer(self.tracer)
+        return repository
 
     def save_translations(self, repository) -> int:
         """Snapshot the current code caches into an on-disk repository.
@@ -139,7 +151,9 @@ class CoDesignedVM:
                                "(load an image under a VM config first)")
         records = capture_translations(self.runtime.directory,
                                        self.state.memory)
-        return self._repository(repository).save(
+        repo = self._repository(repository)
+        self._last_repository = repo
+        return repo.save(
             records, config_fingerprint(self.config),
             image_fingerprint(self._image), config_name=self.config.name)
 
@@ -158,6 +172,7 @@ class CoDesignedVM:
             raise RuntimeError("load an image under a VM config before "
                                "warm-starting")
         repo = self._repository(repository)
+        self._last_repository = repo
         config_fp = config_fingerprint(self.config)
         image_fp = image_fingerprint(self._image)
         records = repo.load(config_fp, image_fp)
@@ -216,6 +231,9 @@ class CoDesignedVM:
         stats = self.runtime.stats()
         report = self.runtime.persist_report
         stats["persist"] = report.to_dict() if report is not None else {}
+        remote = getattr(self._last_repository, "remote_stats", None)
+        if remote is not None:
+            stats["remote"] = remote.to_dict()
         return stats
 
     # -- execution ------------------------------------------------------------

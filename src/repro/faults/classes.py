@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import errno
 import json
+import socket
 from pathlib import Path
 from typing import Dict, List, Type
 
@@ -49,6 +50,9 @@ class FaultClass:
     sites: tuple = ()
     #: whether this class participates in repository mangling
     disk: bool = False
+    #: whether this class strikes the shared-cache client path (its
+    #: only surface is a warm start through a RemoteRepository)
+    network: bool = False
     #: per-visit firing probability (deterministic via the seeded rng)
     rate: float = 0.25
     #: hard cap on firings per run (keeps chaos runs bounded)
@@ -246,7 +250,7 @@ class IOErrorFault(FaultClass):
     """Simulated EIO on repository reads, ENOSPC on writes."""
 
     name = "io-error"
-    sites = ("repo.read", "repo.write")
+    sites = ("repo.read", "repo.write", "repo.fsync")
     rate = 0.3
 
     def fire(self, rng, site: str, context: Dict):
@@ -254,6 +258,9 @@ class IOErrorFault(FaultClass):
         if site == "repo.write":
             raise OSError(errno.ENOSPC,
                           f"injected ENOSPC writing {path}")
+        if site == "repo.fsync":
+            raise OSError(errno.EIO,
+                          f"injected EIO syncing {path}")
         raise OSError(errno.EIO, f"injected EIO reading {path}")
 
 
@@ -327,6 +334,85 @@ class CacheCorruptionFault(FaultClass):
         byte = directory.memory.read(addr, 1)[0]
         directory.memory.write(addr, bytes([byte ^ (1 << rng.randrange(8))]))
         return ("corrupted", victim.kind, victim.entry, offset)
+
+
+# -- shared-cache network faults ---------------------------------------------
+#
+# These strike the RemoteRepository client (src/repro/persist/remote.py)
+# at its fault points; the server itself stays healthy, which is exactly
+# the adversarial case — the client must absorb every transport failure
+# through retries/breaker/fallback without changing architected state.
+
+@register
+class ConnRefusedFault(FaultClass):
+    """The server's socket refuses the connection (down or restarting)."""
+
+    name = "conn-refused"
+    sites = ("net.connect",)
+    network = True
+    rate = 0.5
+
+    def fire(self, rng, site: str, context: Dict):
+        raise ConnectionRefusedError(
+            errno.ECONNREFUSED,
+            f"injected connection refused to "
+            f"{context.get('address', '?')}")
+
+
+@register
+class TornFrameFault(FaultClass):
+    """The connection drops mid-frame (server crash, network partition)."""
+
+    name = "torn-frame"
+    sites = ("net.send", "net.recv")
+    network = True
+    rate = 0.4
+
+    def fire(self, rng, site: str, context: Dict):
+        raise ConnectionResetError(
+            errno.ECONNRESET,
+            f"injected mid-frame disconnect during "
+            f"{context.get('op', '?')}")
+
+
+@register
+class SlowServerFault(FaultClass):
+    """The server stalls past the client's per-request deadline."""
+
+    name = "slow-server"
+    sites = ("net.recv",)
+    network = True
+    rate = 0.4
+
+    def fire(self, rng, site: str, context: Dict):
+        raise socket.timeout(
+            f"injected server stall during {context.get('op', '?')}")
+
+
+@register
+class StaleLeaseFault(FaultClass):
+    """The server reports writer-lease contention (stale/held lease)."""
+
+    name = "stale-lease"
+    sites = ("net.lease",)
+    network = True
+    rate = 0.5
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the client treats truthy as "lease-busy"
+
+
+@register
+class CorruptPayloadFault(FaultClass):
+    """A response frame arrives with a checksum-failing payload."""
+
+    name = "corrupt-payload"
+    sites = ("net.payload",)
+    network = True
+    rate = 0.4
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the client raises a ProtocolError on truthy
 
 
 # -- policy faults -----------------------------------------------------------

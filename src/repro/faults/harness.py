@@ -92,6 +92,9 @@ class ChaosOutcome:
     #: warm chaos runs boot from a mangled repository; cold runs skip
     #: the warm start so translator/dispatch faults hit live translation
     warm: bool = True
+    #: remote runs warm-start through a live cache server + the
+    #: fault-tolerant client, so the network fault classes have surface
+    remote: bool = False
     problems: List[str] = field(default_factory=list)
     injected: Dict[str, int] = field(default_factory=dict)
     disk_corruptions: int = 0
@@ -110,7 +113,8 @@ class ChaosOutcome:
         fired = ", ".join(f"{name} x{count}"
                           for name, count in sorted(self.injected.items())
                           if count) or "none fired"
-        mode = "warm" if self.warm else "cold"
+        mode = "remote" if self.remote else \
+            ("warm" if self.warm else "cold")
         line = (f"{status}  {self.workload:14s} seed={self.seed:<4d} "
                 f"{mode} [{'+'.join(self.faults)}] ({fired})")
         if self.problems:
@@ -138,19 +142,26 @@ def prepare_baseline(name: str, source: str, workdir: str,
 
 def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
                 workdir: Optional[str] = None, warm: bool = True,
+                remote: bool = False,
                 **fault_overrides) -> ChaosOutcome:
     """One chaos run under an armed injector.
 
     ``warm=True`` boots from a mangled copy of the baseline repository
     (exercising the repository/loader fault surface); ``warm=False``
     runs cold, so the BBT/SBT/hotspot/dispatch fault sites see live
-    translation work.  Either way the architected outcome must match
-    the fault-free baseline exactly.
+    translation work.  ``remote=True`` (implies warm) serves the
+    mangled copy through a live :class:`CacheServer` and warm-starts
+    through the fault-tolerant :class:`RemoteRepository` client, so the
+    network fault classes strike a real socket path — with the same
+    copy as the client's local fallback, every degradation ends at
+    state the fault-free run could have produced.  In every mode the
+    architected outcome must match the fault-free baseline exactly.
     """
     injector = FaultInjector(seed, faults, **fault_overrides)
     cleanup = workdir is None
     workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
     disk_corruptions = 0
+    warm = warm or remote
     if warm:
         repo_copy = Path(workdir) / f"faulted-{baseline.name}-{seed}"
         if repo_copy.exists():
@@ -160,16 +171,31 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
 
     outcome = ChaosOutcome(workload=baseline.name,
                            faults=list(faults), seed=seed, ok=False,
-                           warm=warm, disk_corruptions=disk_corruptions)
+                           warm=warm, remote=remote,
+                           disk_corruptions=disk_corruptions)
     # chaos runs fly instrumented: the flight recorder turns any escape
     # or divergence into a replayable forensic trace (docs/observability)
     config = vm_soft().with_(integrity_check_interval=1, trace=True)
     vm = CoDesignedVM(config, hot_threshold=baseline.hot_threshold)
     vm.load(assemble(baseline.source))
+    server = None
     try:
+        if remote:
+            # TCP on loopback: the server reads the *mangled* copy, the
+            # client falls back to the same copy, so remote and local
+            # degradation paths converge on identical loadable records
+            from repro.cacheserver.server import CacheServer
+            from repro.persist.remote import RemoteRepository
+            server = CacheServer(repo_copy)
+            address = server.start()
+            repository = RemoteRepository(
+                address, local=repo_copy, timeout=2.0, retries=2,
+                breaker_cooldown=0.0, sleep=lambda _s: None)
+        elif warm:
+            repository = TranslationRepository(repo_copy)
         with injecting(injector):
             if warm:
-                vm.warm_start(TranslationRepository(repo_copy))
+                vm.warm_start(repository)
             vm.run(max_instructions=baseline.max_instructions)
     except Exception as error:   # noqa: BLE001 - the whole point
         outcome.problems.append(
@@ -184,8 +210,12 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
                 faults=list(faults))
         return outcome
     finally:
+        if server is not None:
+            server.stop()
         outcome.injected = dict(injector.injected)
         outcome.stats = vm.stats()
+        if remote:
+            outcome.stats["remote"] = repository.remote_stats.to_dict()
         if cleanup:
             shutil.rmtree(workdir, ignore_errors=True)
 
@@ -201,18 +231,21 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
 def modes_for(faults: Sequence[str]) -> List[bool]:
     """Which chaos modes exercise a fault set (True=warm, False=cold).
 
-    Disk and repository/loader faults need a warm start to have any
-    surface at all; translator, hotspot and dispatch faults need a cold
-    run, because a fully warm boot never invokes the translators.
+    Disk, repository/loader and network faults need a warm start to
+    have any surface at all (network faults specifically need the
+    *remote* warm path — see :func:`needs_remote`); translator, hotspot
+    and dispatch faults need a cold run, because a fully warm boot
+    never invokes the translators.
     """
     warm = cold = False
     for fault in faults:
         if not isinstance(fault, FaultClass):
             fault = make_fault(fault)
-        if fault.disk or any(site.startswith(("repo.", "loader."))
-                             for site in fault.sites):
+        if fault.disk or fault.network or \
+                any(site.startswith(("repo.", "loader."))
+                    for site in fault.sites):
             warm = True
-        if any(not site.startswith(("repo.", "loader."))
+        if any(not site.startswith(("repo.", "loader.", "net."))
                for site in fault.sites):
             cold = True
     modes = []
@@ -221,6 +254,16 @@ def modes_for(faults: Sequence[str]) -> List[bool]:
     if cold:
         modes.append(False)
     return modes or [True]
+
+
+def needs_remote(faults: Sequence[str]) -> bool:
+    """Whether a fault set only has surface through the remote client."""
+    for fault in faults:
+        if not isinstance(fault, FaultClass):
+            fault = make_fault(fault)
+        if fault.network:
+            return True
+    return False
 
 
 def run_matrix(programs: Dict[str, str], fault_sets: Sequence[Sequence[str]],

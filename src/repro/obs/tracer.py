@@ -62,6 +62,16 @@ EVENT_TYPES: Dict[str, str] = {
     "quarantine.degrade": "i",
     "integrity.hit": "i",
     "integrity.sweep": "i",
+    # shared-cache client (RemoteRepository)
+    "remote.request": "i",
+    "remote.retry": "i",
+    "remote.fallback": "i",
+    "remote.breaker_open": "i",
+    "remote.breaker_close": "i",
+    # shared-cache server
+    "server.start": "i",
+    "server.request": "i",
+    "server.stop": "i",
     # run envelope
     "run.begin": "i",
     "run.end": "i",
@@ -79,6 +89,8 @@ _TRACKS = {
     "integrity": 5,
     "hotspot": 6,
     "block": 7,
+    "remote": 8,
+    "server": 9,
 }
 _DEFAULT_TRACK = 0
 

@@ -18,7 +18,14 @@ Pieces:
 * :mod:`repro.persist.loader` — boot-time re-materialization with
   source re-fingerprinting and verifier screening;
 * :mod:`repro.persist.fsck` — consistency check and repair of the
-  on-disk store (the ``repro cache fsck`` CLI).
+  on-disk store (the ``repro cache fsck`` CLI);
+* :mod:`repro.persist.lease` — the cross-process writer lease that
+  serializes savers, gc and the cache server's handler threads;
+* :mod:`repro.persist.remote` — the fault-tolerant client for the
+  shared translation-cache server (:mod:`repro.cacheserver`): per-
+  request timeouts, bounded retries with deterministic jitter, a
+  circuit breaker, and graceful degradation to the local repository
+  and ultimately to cold translation.
 
 Typical use (see ``examples/warm_start.py`` and ``docs/persistence.md``)::
 
@@ -46,7 +53,16 @@ from repro.persist.format import (
     validate_record,
 )
 from repro.persist.fsck import FsckReport, fsck_repository
+from repro.persist.lease import LeaseBusyError, WriterLease
 from repro.persist.loader import LoadReport, WarmStartLoader
+from repro.persist.remote import (
+    CircuitBreaker,
+    RemoteError,
+    RemoteRepository,
+    RemoteStats,
+    RemoteUnavailable,
+    parse_address,
+)
 from repro.persist.repository import (
     GCReport,
     RepositoryStats,
@@ -55,18 +71,26 @@ from repro.persist.repository import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "CircuitBreaker",
     "FsckReport",
     "GCReport",
+    "LeaseBusyError",
     "LoadReport",
     "PersistFormatError",
+    "RemoteError",
+    "RemoteRepository",
+    "RemoteStats",
+    "RemoteUnavailable",
     "RepositoryStats",
     "TranslationRepository",
     "WarmStartLoader",
+    "WriterLease",
     "capture_translations",
     "config_fingerprint",
     "fsck_repository",
     "image_fingerprint",
     "materialize",
+    "parse_address",
     "record_key",
     "serialize_translation",
     "source_matches",

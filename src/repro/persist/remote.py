@@ -1,0 +1,422 @@
+"""RemoteRepository — the fault-tolerant shared-cache client.
+
+To the VM this is just another repository (``load`` / ``save`` /
+``manifest_entry_count``), but it fronts a
+:class:`~repro.cacheserver.server.CacheServer` over a socket, and the
+network is allowed to do its worst.  The contract mirrors the rest of
+the translation stack: the shared cache is an *optimization*, so **no
+server failure may change architected results or kill the run** — every
+failure mode degrades, in order, to the local repository and ultimately
+to cold BBT translation.
+
+Failure handling, layer by layer:
+
+* **per-request timeouts** — every socket operation is bounded
+  (``timeout``), so a hung server costs milliseconds, not a wedged
+  boot;
+* **bounded retries** — transient failures (refused connection, torn
+  frame, timeout, ``lease-busy``) are retried up to ``retries`` times
+  with exponential backoff and *deterministic* jitter (hashed from the
+  request identity, never the wall clock or a global RNG, so tests and
+  chaos runs replay exactly);
+* **checksum screening** — frames carry a CRC over the payload; a
+  corrupt payload is dropped at the codec, counted, and retried like
+  any transient failure;
+* **circuit breaker** — after ``breaker_threshold`` consecutive
+  request failures the breaker opens and requests short-circuit
+  straight to the fallback for ``breaker_cooldown`` seconds (one probe
+  is let through afterwards, closing the breaker on success), so a
+  dead server is paid for once, not once per block;
+* **graceful degradation** — any exhausted request falls back to the
+  ``local`` repository when one was given, else behaves like an empty
+  store (a load returns no records and the VM translates cold).
+
+Every decision is observable: counters in :class:`RemoteStats`,
+``remote.*`` events in a bound tracer, and a flight-recorder dump
+(:attr:`RemoteRepository.last_flight`) snapshotting the events leading
+up to each fallback.  See ``docs/cache_server.md`` for the failure
+matrix.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import time
+import zlib
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cacheserver import protocol
+from repro.faults.plane import fault_point
+from repro.persist.repository import TranslationRepository
+
+log = logging.getLogger("repro.persist.remote")
+
+
+class RemoteError(Exception):
+    """A request failed for good (non-retryable or retries exhausted)."""
+
+
+class RemoteUnavailable(RemoteError):
+    """Transport-level failure after exhausting the retry budget."""
+
+
+def parse_address(address) -> Tuple[str, object]:
+    """``unix:<path>`` / ``/abs/path`` / ``host:port`` / ``(host, port)``.
+
+    Returns ``("unix", path)`` or ``("tcp", (host, port))``.
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return "tcp", (host, int(port))
+    if not isinstance(address, str) or not address:
+        raise ValueError(f"unusable server address {address!r}")
+    if address.startswith("unix:"):
+        return "unix", address[len("unix:"):]
+    if address.startswith("/"):
+        return "unix", address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"unusable server address {address!r} "
+            f"(want unix:<path>, /abs/path or host:port)")
+    return "tcp", (host or "127.0.0.1", int(port))
+
+
+@dataclass
+class RemoteStats:
+    """Client-side counters — the observable shape of every degradation."""
+
+    requests: int = 0
+    successes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    conn_errors: int = 0
+    protocol_errors: int = 0
+    lease_busy: int = 0
+    server_errors: int = 0
+    breaker_opens: int = 0
+    breaker_short_circuits: int = 0
+    fallbacks: int = 0
+    records_pulled: int = 0
+    records_pushed: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    def format(self) -> str:
+        fields = self.to_dict()
+        width = max(len(name) for name in fields)
+        return "\n".join(f"{name:<{width}}  {value}"
+                         for name, value in fields.items())
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown-then-probe reopen."""
+
+    def __init__(self, threshold: int = 4, cooldown: float = 1.0,
+                 clock=time.monotonic) -> None:
+        self.threshold = max(1, threshold)
+        self.cooldown = cooldown
+        self._clock = clock
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+    def allows(self) -> bool:
+        """Whether a request may hit the network right now."""
+        if self.opened_at is None:
+            return True
+        if self._clock() - self.opened_at < self.cooldown:
+            return False
+        # cooled down: let exactly one probe through (half-open)
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> bool:
+        """Returns True when this failure newly opened the breaker."""
+        self.failures += 1
+        self._probing = False
+        if self.opened_at is not None:
+            self.opened_at = self._clock()   # failed probe: re-open
+            return False
+        if self.failures >= self.threshold:
+            self.opened_at = self._clock()
+            return True
+        return False
+
+
+class RemoteRepository:
+    """Translation repository served by a cache server, with fallback.
+
+    ``address`` is anything :func:`parse_address` accepts.  ``local``
+    (a path or :class:`TranslationRepository`, optional) is the
+    degradation target; without one, failed loads act like an empty
+    store.  ``sleep`` is injectable so tests and chaos runs never
+    actually wait out a backoff.
+    """
+
+    def __init__(self, address, local=None, timeout: float = 2.0,
+                 retries: int = 3, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 breaker_threshold: int = 4,
+                 breaker_cooldown: float = 1.0,
+                 tracer=None, sleep=time.sleep,
+                 clock=time.monotonic) -> None:
+        self.kind, self.endpoint = parse_address(address)
+        self.address = address if isinstance(address, str) \
+            else f"{self.endpoint[0]}:{self.endpoint[1]}"
+        if local is None or isinstance(local, TranslationRepository):
+            self.local = local
+        else:
+            self.local = TranslationRepository(local)
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.remote_stats = RemoteStats()
+        self.breaker = CircuitBreaker(threshold=breaker_threshold,
+                                      cooldown=breaker_cooldown,
+                                      clock=clock)
+        self.tracer = tracer
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._request_seq = 0
+        #: flight-recorder dump taken at the last fallback (needs a
+        #: bound tracer); forensic context for "why did we go local?"
+        self.last_flight: Optional[Dict] = None
+
+    def bind_tracer(self, tracer) -> None:
+        """Attach an event tracer (``CoDesignedVM`` does this for the
+        run's tracer so client degradations land in the run's trace)."""
+        self.tracer = tracer
+
+    def _trace(self, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, **args)
+
+    # -- connection management ----------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        fault_point("net.connect", address=self.address)
+        if self.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(self.endpoint)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- the request engine --------------------------------------------------
+
+    def _backoff(self, op: str, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter.
+
+        The jitter is hashed from (op, request seq, attempt) so
+        concurrent clients decorrelate without any global RNG — the
+        same request history always waits the same total time.
+        """
+        spread = zlib.crc32(
+            f"{op}:{self._request_seq}:{attempt}".encode()) % 1000
+        factor = 0.5 + spread / 2000.0      # in [0.5, 1.0)
+        return min(self.backoff_cap,
+                   self.backoff_base * (2 ** attempt) * factor)
+
+    def _attempt(self, op: str, payload: Dict) -> Dict:
+        """One network round trip; raises on any failure."""
+        sock = self._connect()
+        request = {"op": op}
+        request.update(payload)
+        fault_point("net.send", op=op)
+        protocol.send_message(sock, request)
+        fault_point("net.recv", op=op)
+        response = protocol.recv_message(sock)
+        if fault_point("net.payload", op=op):
+            raise protocol.ProtocolError(
+                "injected payload corruption (checksum mismatch)")
+        if response.get("ok") is True:
+            if fault_point("net.lease", op=op):
+                raise _LeaseBusy("injected stale writer lease")
+            return response
+        category = response.get("error")
+        detail = response.get("detail", "")
+        if category in protocol.RETRYABLE_ERRORS:
+            raise _LeaseBusy(f"{category}: {detail}")
+        raise RemoteError(f"server refused {op}: {category}: {detail}")
+
+    def _request(self, op: str, payload: Dict) -> Dict:
+        """Timeouts, retries, backoff, breaker — or an exception."""
+        stats = self.remote_stats
+        stats.requests += 1
+        self._request_seq += 1
+        if not self.breaker.allows():
+            stats.breaker_short_circuits += 1
+            raise RemoteUnavailable(
+                f"circuit breaker open for {self.address}")
+        self._trace("remote.request", op=op, seq=self._request_seq)
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                stats.retries += 1
+                self._trace("remote.retry", op=op, attempt=attempt,
+                            error=type(last_error).__name__)
+                self._sleep(self._backoff(op, attempt - 1))
+            try:
+                response = self._attempt(op, payload)
+            except _LeaseBusy as error:
+                stats.lease_busy += 1
+                last_error = error
+                continue        # server is healthy, just contended:
+                #                 the connection stays up
+            except protocol.ProtocolError as error:
+                stats.protocol_errors += 1
+                last_error = error
+                self.close()    # framing is unrecoverable mid-stream
+                continue
+            except (socket.timeout, TimeoutError) as error:
+                stats.timeouts += 1
+                last_error = error
+                self.close()
+                continue
+            except OSError as error:
+                stats.conn_errors += 1
+                last_error = error
+                self.close()
+                continue
+            except RemoteError:
+                self.close()
+                if self.breaker.record_failure():
+                    stats.breaker_opens += 1
+                    self._trace("remote.breaker_open", op=op)
+                raise
+            was_open = self.breaker.is_open
+            self.breaker.record_success()
+            if was_open:
+                self._trace("remote.breaker_close", op=op)
+            stats.successes += 1
+            return response
+        self.close()
+        if self.breaker.record_failure():
+            stats.breaker_opens += 1
+            self._trace("remote.breaker_open", op=op)
+        raise RemoteUnavailable(
+            f"{op} to {self.address} failed after "
+            f"{self.retries + 1} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}")
+
+    def _fall_back(self, op: str, error: Exception) -> None:
+        self.remote_stats.fallbacks += 1
+        self._trace("remote.fallback", op=op,
+                    error=type(error).__name__,
+                    target="local" if self.local is not None else "cold")
+        if self.tracer is not None:
+            self.last_flight = self.tracer.flight_dump(
+                "remote-fallback", op=op, address=str(self.address),
+                error=f"{type(error).__name__}: {error}")
+        log.warning("shared cache unavailable for %s (%s); degrading "
+                    "to %s", op, error,
+                    "local repository" if self.local is not None
+                    else "cold translation")
+
+    # -- the repository surface ---------------------------------------------
+
+    def load(self, config_fp: str, image_fp: str) -> List[Dict]:
+        """Pull records for one (config, image) pair; never raises."""
+        try:
+            response = self._request("pull", {"config_fp": config_fp,
+                                              "image_fp": image_fp})
+            records = response.get("records")
+            if not isinstance(records, list):
+                raise RemoteError("pull response carried no record list")
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            self._fall_back("pull", error)
+            if self.local is None:
+                return []
+            return self.local.load(config_fp, image_fp)
+        self.remote_stats.records_pulled += len(records)
+        return records
+
+    def save(self, records: List[Dict], config_fp: str, image_fp: str,
+             config_name: str = "") -> int:
+        """Push records to the server; never raises."""
+        payload = {"records": [r for r in records if r is not None],
+                   "config_fp": config_fp, "image_fp": image_fp,
+                   "config_name": config_name}
+        try:
+            response = self._request("push", payload)
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            self._fall_back("push", error)
+            if self.local is None:
+                return 0
+            return self.local.save(records, config_fp, image_fp,
+                                   config_name=config_name)
+        written = response.get("written")
+        written = written if isinstance(written, int) else 0
+        self.remote_stats.records_pushed += len(payload["records"])
+        return written
+
+    def manifest_entry_count(self, config_fp: str,
+                             image_fp: str) -> Optional[int]:
+        try:
+            response = self._request("manifest",
+                                     {"config_fp": config_fp,
+                                      "image_fp": image_fp})
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            self._fall_back("manifest", error)
+            if self.local is None:
+                return None
+            return self.local.manifest_entry_count(config_fp, image_fp)
+        entries = response.get("entries")
+        return entries if isinstance(entries, int) else None
+
+    def ping(self) -> bool:
+        """Liveness probe; False instead of raising."""
+        try:
+            self._request("ping", {})
+            return True
+        except Exception:  # noqa: BLE001 - degrade, never raise
+            return False
+
+    def server_stats(self) -> Optional[Dict]:
+        """The server's repository + request stats, or None."""
+        try:
+            response = self._request("stats", {})
+        except Exception:  # noqa: BLE001 - degrade, never raise
+            return None
+        return {"repository": response.get("repository"),
+                "server": response.get("server")}
+
+    def stats(self) -> RemoteStats:
+        """Client-side counters (the repository-stats analogue)."""
+        return self.remote_stats
+
+
+class _LeaseBusy(Exception):
+    """Internal: retryable server-side contention (stale/held lease)."""

@@ -22,9 +22,12 @@ strips dangling references from every manifest.
 Crash safety
 ------------
 Every file the repository writes — meta, manifests, objects — goes
-through a journaled two-step (write ``<name>.tmp``, then atomic
+through a journaled two-step (write ``<name>.tmp``, fsync, then atomic
 ``os.replace``), so a crash mid-write leaves either the old content or
-a stray ``.tmp`` file, never a torn JSON document.  Reads treat any
+a stray ``.tmp`` file, never a torn JSON document; the fsync before the
+rename means a power cut cannot journal an *empty-but-renamed* file
+either (rename metadata reaching disk before the data would otherwise
+do exactly that).  Reads treat any
 unreadable or invalid file as absent; a corrupt or missing
 ``meta.json`` is *rebuilt* from the objects directory instead of
 wiping the store.  I/O errors during save/load are absorbed
@@ -32,6 +35,18 @@ wiping the store.  I/O errors during save/load are absorbed
 record from the manifest, a failed LRU stamp loses nothing but
 recency.  :meth:`fsck` detects, quarantines and repairs whatever
 damage accumulates anyway (see ``docs/robustness.md``).
+
+Concurrency
+-----------
+Writers (``save``, ``gc``, repairing ``fsck``) serialize on the
+file-based :class:`~repro.persist.lease.WriterLease`, so concurrent
+savers from many processes — or the cache server's handler threads —
+never interleave the object-write -> manifest -> meta sequence, and a
+gc pass can never evict objects a mid-flight save's manifest is about
+to reference.  Readers stay lease-free: loads only race the LRU
+recency stamp, which is reconstructable state.  A writer that cannot
+get the lease degrades (saves/evicts nothing, counts
+``lease_failures``) instead of blocking the VM.
 """
 
 from __future__ import annotations
@@ -49,6 +64,7 @@ from repro.persist.format import (
     PersistFormatError,
     validate_record,
 )
+from repro.persist.lease import DEFAULT_TIMEOUT, WriterLease
 
 log = logging.getLogger("repro.persist")
 
@@ -88,8 +104,13 @@ class GCReport:
     evicted_bytes: int = 0
     remaining_objects: int = 0
     remaining_bytes: int = 0
+    #: the writer lease stayed contended: nothing was evicted
+    lease_busy: bool = False
 
     def format(self) -> str:
+        if self.lease_busy:
+            return ("gc: writer lease busy (a save is in flight); "
+                    "nothing evicted")
         return (f"gc: evicted {self.evicted_objects} object(s) / "
                 f"{self.evicted_bytes} bytes; "
                 f"{self.remaining_objects} object(s) / "
@@ -110,6 +131,12 @@ class TranslationRepository:
         self.io_errors = 0
         #: times meta.json had to be rebuilt from the objects dir
         self.meta_recoveries = 0
+        #: writer-lease acquisitions that timed out (save/gc degraded)
+        self.lease_failures = 0
+
+    def writer_lease(self) -> WriterLease:
+        """A fresh lease handle on this repository's lock file."""
+        return WriterLease(self.root)
 
     # -- journaled I/O ------------------------------------------------------
 
@@ -126,6 +153,12 @@ class TranslationRepository:
             fault_point("repo.write", path=str(path))
             with open(tmp, "w") as handle:
                 json.dump(payload, handle, indent=indent, sort_keys=True)
+                handle.flush()
+                # the data must be durable *before* the rename is: a
+                # rename journaled ahead of its contents would survive
+                # a crash as an empty-but-renamed file
+                fault_point("repo.fsync", path=str(path))
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
             return True
         except OSError as error:
@@ -200,14 +233,33 @@ class TranslationRepository:
     # -- save ---------------------------------------------------------------
 
     def save(self, records: List[Dict], config_fp: str, image_fp: str,
-             config_name: str = "") -> int:
+             config_name: str = "",
+             lease_timeout: float = DEFAULT_TIMEOUT) -> int:
         """Persist records under one (config, image) manifest.
 
         Returns the number of records written.  Existing objects with
         the same content key are reused (their LRU stamp is refreshed);
         the manifest is replaced wholesale so it exactly mirrors the
         saved snapshot.
+
+        The whole sequence runs under the writer lease; if the lease
+        stays contended past ``lease_timeout`` nothing is written and 0
+        is returned (the VM keeps running, this snapshot is lost).
         """
+        lease = self.writer_lease()
+        if not lease.acquire(timeout=lease_timeout):
+            self.lease_failures += 1
+            log.warning("save skipped: writer lease at %s stayed "
+                        "contended for %.1fs", lease.path, lease_timeout)
+            return 0
+        try:
+            return self._save_locked(records, config_fp, image_fp,
+                                     config_name)
+        finally:
+            lease.release()
+
+    def _save_locked(self, records: List[Dict], config_fp: str,
+                     image_fp: str, config_name: str) -> int:
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.manifests_dir.mkdir(parents=True, exist_ok=True)
         meta = self._load_meta()
@@ -351,8 +403,28 @@ class TranslationRepository:
                 })
         return stats
 
-    def gc(self, budget_bytes: int) -> GCReport:
-        """Evict least-recently-used objects until under the budget."""
+    def gc(self, budget_bytes: int,
+           lease_timeout: float = DEFAULT_TIMEOUT) -> GCReport:
+        """Evict least-recently-used objects until under the budget.
+
+        Runs under the writer lease: a gc that raced a concurrent save
+        could otherwise evict objects the mid-flight manifest still
+        references.  When the lease stays contended past
+        ``lease_timeout`` the report comes back with ``lease_busy`` set
+        and nothing evicted.
+        """
+        lease = self.writer_lease()
+        if not lease.acquire(timeout=lease_timeout):
+            self.lease_failures += 1
+            log.warning("gc skipped: writer lease at %s stayed "
+                        "contended for %.1fs", lease.path, lease_timeout)
+            return GCReport(budget_bytes=budget_bytes, lease_busy=True)
+        try:
+            return self._gc_locked(budget_bytes)
+        finally:
+            lease.release()
+
+    def _gc_locked(self, budget_bytes: int) -> GCReport:
         meta = self._load_meta()
         report = GCReport(budget_bytes=budget_bytes)
         total = sum(entry["size"] for entry in meta["objects"].values())
@@ -386,10 +458,19 @@ class TranslationRepository:
 
         See :func:`repro.persist.fsck.fsck_repository`; corrupt objects
         are quarantined under ``<root>/quarantine/``, the index and
-        manifests are reconciled against the surviving objects.
+        manifests are reconciled against the surviving objects.  A
+        repairing pass takes the writer lease (best effort — a check
+        pass, or a repair that cannot get the lease, proceeds lock-free
+        exactly as before).
         """
         from repro.persist.fsck import fsck_repository
-        return fsck_repository(self, repair=repair)
+        lease = self.writer_lease() if repair else None
+        locked = lease is not None and lease.acquire(timeout=2.0)
+        try:
+            return fsck_repository(self, repair=repair)
+        finally:
+            if locked:
+                lease.release()
 
     def _strip_manifest_refs(self, evicted) -> None:
         if not self.manifests_dir.is_dir():

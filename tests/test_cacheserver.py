@@ -1,0 +1,337 @@
+"""Shared translation-cache server: protocol codec, ops, end-to-end.
+
+The server under test is a real one — every test speaks actual frames
+over an actual socket (TCP on loopback), because the failure modes the
+robustness plan cares about (torn frames, mid-stream garbage, dropped
+connections) only exist on real transports.
+"""
+
+import socket
+
+import pytest
+
+from repro.cacheserver import CacheServer, protocol
+from repro.core.config import vm_soft
+from repro.core.vm import CoDesignedVM
+from repro.isa.x86lite import assemble
+from repro.persist import (
+    RemoteRepository,
+    WriterLease,
+    capture_translations,
+    config_fingerprint,
+    image_fingerprint,
+)
+
+LOOP = """
+start:
+    mov ecx, 200
+    mov esi, 0
+top:
+    add esi, ecx
+    dec ecx
+    jnz top
+    mov eax, 1
+    mov ebx, esi
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+# same loop prefix as LOOP (identical bytes at identical addresses), so
+# its hot-block translations content-address to the same objects; only
+# the tail differs.  This is the cross-workload dedup scenario: shared
+# prefix code stored once on the server.
+LOOP_VARIANT = """
+start:
+    mov ecx, 200
+    mov esi, 0
+top:
+    add esi, ecx
+    dec ecx
+    jnz top
+    mov eax, 1
+    mov ebx, 7
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+
+def cold_records(source=LOOP, hot_threshold=50):
+    """Run cold; return (records, config_fp, image_fp, vm)."""
+    vm = CoDesignedVM(vm_soft(), hot_threshold=hot_threshold)
+    image = assemble(source)
+    vm.load(image)
+    vm.run()
+    records = capture_translations(vm.runtime.directory, vm.state.memory)
+    return records, config_fingerprint(vm.config), \
+        image_fingerprint(image), vm
+
+
+@pytest.fixture
+def server(tmp_path):
+    with CacheServer(tmp_path / "served") as srv:
+        yield srv
+
+
+def raw_call(server, message, sock=None):
+    """One request frame over a fresh (or given) TCP connection."""
+    own = sock is None
+    if own:
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+    try:
+        protocol.send_message(sock, message)
+        return protocol.recv_message(sock)
+    finally:
+        if own:
+            sock.close()
+
+
+class TestProtocolCodec:
+    def test_round_trip(self):
+        message = {"op": "push", "records": [{"a": 1}], "n": 7}
+        assert protocol.decode_frame(
+            protocol.encode_frame(message)) == message
+
+    def test_flipped_payload_byte_fails_checksum(self):
+        frame = bytearray(protocol.encode_frame({"op": "ping"}))
+        frame[-1] ^= 0x40
+        with pytest.raises(protocol.ProtocolError,
+                           match="checksum"):
+            protocol.decode_frame(bytes(frame))
+
+    def test_bad_magic_rejected(self):
+        frame = b"XXXX" + protocol.encode_frame({"op": "ping"})[4:]
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            protocol.decode_frame(frame)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="short"):
+            protocol.decode_header(b"RTC1")
+
+    def test_length_bound_enforced(self):
+        header = protocol._HEADER.pack(protocol.MAGIC,
+                                       protocol.MAX_PAYLOAD + 1, 0)
+        with pytest.raises(protocol.ProtocolError, match="exceeds"):
+            protocol.decode_header(header)
+
+    def test_truncated_payload_rejected(self):
+        frame = protocol.encode_frame({"op": "ping"})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_frame(frame[:-2])
+
+    def test_non_object_payload_rejected(self):
+        import json
+        import zlib
+        payload = json.dumps([1, 2]).encode()
+        frame = protocol._HEADER.pack(protocol.MAGIC, len(payload),
+                                      zlib.crc32(payload)) + payload
+        with pytest.raises(protocol.ProtocolError, match="not an object"):
+            protocol.decode_frame(frame)
+
+    def test_mid_frame_eof_detected(self, server):
+        # connect, send half a frame, shut down the write side: the
+        # server must treat it as a protocol error, not hang or die
+        frame = protocol.encode_frame({"op": "ping"})
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(frame[:len(frame) // 2])
+            sock.shutdown(socket.SHUT_WR)
+            # server drops the connection (possibly after an error frame)
+            data = sock.recv(1 << 16)
+            if data:
+                assert protocol.decode_frame(data)["ok"] is False
+        finally:
+            sock.close()
+        # and stays alive for the next client
+        assert raw_call(server, {"op": "ping"})["ok"] is True
+
+
+class TestServerOps:
+    def test_ping(self, server):
+        response = raw_call(server, {"op": "ping"})
+        assert response["ok"] is True
+        assert str(server.repository.root) == response["root"]
+
+    def test_unknown_op_is_bad_request(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            response = raw_call(server, {"op": "frobnicate"}, sock=sock)
+            assert response["error"] == "bad-request"
+            # a bad *op* (well-formed frame) keeps the connection open
+            assert raw_call(server, {"op": "ping"},
+                            sock=sock)["ok"] is True
+        finally:
+            sock.close()
+
+    def test_garbage_frame_answered_then_dropped(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            sock.sendall(b"not a frame at all, definitely " * 2)
+            response = protocol.recv_message(sock)
+            assert response["ok"] is False
+            assert response["error"] == "bad-request"
+            assert sock.recv(1) == b""     # connection dropped
+        finally:
+            sock.close()
+        assert raw_call(server, {"op": "ping"})["ok"] is True
+
+    def test_push_then_pull_round_trip(self, server):
+        records, config_fp, image_fp, _vm = cold_records()
+        response = raw_call(server, {
+            "op": "push", "records": records, "config_fp": config_fp,
+            "image_fp": image_fp, "config_name": "test"})
+        assert response["ok"] is True
+        assert response["written"] == len(records)
+        assert response["rejected"] == 0
+        pulled = raw_call(server, {"op": "pull", "config_fp": config_fp,
+                                   "image_fp": image_fp})
+        assert pulled["ok"] is True
+        assert {r["key"] for r in pulled["records"]} == \
+            {r["key"] for r in records}
+        assert pulled["manifest_entries"] == len(records)
+
+    def test_manifest_probe(self, server):
+        records, config_fp, image_fp, _vm = cold_records()
+        absent = raw_call(server, {"op": "manifest",
+                                   "config_fp": config_fp,
+                                   "image_fp": image_fp})
+        assert absent["ok"] is True and absent["entries"] is None
+        raw_call(server, {"op": "push", "records": records,
+                          "config_fp": config_fp, "image_fp": image_fp})
+        present = raw_call(server, {"op": "manifest",
+                                    "config_fp": config_fp,
+                                    "image_fp": image_fp})
+        assert present["entries"] == len(records)
+
+    def test_missing_fingerprints_rejected(self, server):
+        for op in ("pull", "push", "manifest"):
+            response = raw_call(server, {"op": op, "records": []})
+            assert response["ok"] is False
+            assert response["error"] == "bad-request"
+
+    def test_server_validates_pushed_records(self, server):
+        """A corrupt client cannot poison the store other VMs pull from."""
+        records, config_fp, image_fp, _vm = cold_records()
+        tampered = dict(records[0])
+        tampered["code"] = "ffffffff"       # key no longer matches body
+        response = raw_call(server, {
+            "op": "push",
+            "records": [records[1], tampered, {"garbage": True}, None],
+            "config_fp": config_fp, "image_fp": image_fp})
+        assert response["ok"] is True
+        assert response["written"] == 1
+        assert response["rejected"] == 3
+        pulled = raw_call(server, {"op": "pull", "config_fp": config_fp,
+                                   "image_fp": image_fp})
+        assert [r["key"] for r in pulled["records"]] == \
+            [records[1]["key"]]
+        assert server.stats.to_dict()["records_rejected"] == 3
+
+    def test_cross_workload_dedup(self, server):
+        """Two programs sharing a code prefix store the prefix once."""
+        rec_a, config_fp, image_a, _ = cold_records(LOOP)
+        rec_b, _, image_b, _ = cold_records(LOOP_VARIANT)
+        assert image_a != image_b
+        first = raw_call(server, {"op": "push", "records": rec_a,
+                                  "config_fp": config_fp,
+                                  "image_fp": image_a})
+        assert first["deduped"] == 0
+        second = raw_call(server, {"op": "push", "records": rec_b,
+                                   "config_fp": config_fp,
+                                   "image_fp": image_b})
+        # the shared loop blocks content-address identically
+        assert second["deduped"] > 0
+        assert second["written"] < len(rec_b)
+        assert server.stats.to_dict()["objects_deduped"] == \
+            second["deduped"]
+        # both manifests still pull their full record sets
+        for image_fp, records in ((image_a, rec_a), (image_b, rec_b)):
+            pulled = raw_call(server, {"op": "pull",
+                                       "config_fp": config_fp,
+                                       "image_fp": image_fp})
+            assert len(pulled["records"]) == len(records)
+
+    def test_contended_lease_surfaces_as_lease_busy(self, tmp_path):
+        with CacheServer(tmp_path / "repo",
+                         lease_timeout=0.05) as server:
+            records, config_fp, image_fp, _vm = cold_records()
+            with WriterLease(server.repository.root, ttl=60.0):
+                response = raw_call(server, {
+                    "op": "push", "records": records,
+                    "config_fp": config_fp, "image_fp": image_fp})
+            assert response["ok"] is False
+            assert response["error"] == "lease-busy"
+            assert response["error"] in protocol.RETRYABLE_ERRORS
+            assert server.stats.to_dict()["lease_busy"] == 1
+            # released: the same push now lands
+            retry = raw_call(server, {
+                "op": "push", "records": records,
+                "config_fp": config_fp, "image_fp": image_fp})
+            assert retry["ok"] is True and retry["written"] > 0
+
+    def test_stats_op_reports_both_sides(self, server):
+        records, config_fp, image_fp, _vm = cold_records()
+        raw_call(server, {"op": "push", "records": records,
+                          "config_fp": config_fp, "image_fp": image_fp})
+        response = raw_call(server, {"op": "stats"})
+        assert response["repository"]["objects"] == len(records)
+        assert response["server"]["requests"]["push"] == 1
+        assert response["server"]["connections"] >= 2
+
+    def test_persistent_connection_serves_many_requests(self, server):
+        sock = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            for _ in range(5):
+                assert raw_call(server, {"op": "ping"},
+                                sock=sock)["ok"] is True
+        finally:
+            sock.close()
+        assert server.stats.to_dict()["requests"]["ping"] == 5
+        assert server.stats.to_dict()["connections"] == 1
+
+
+class TestEndToEnd:
+    def test_warm_start_through_live_server(self, tmp_path):
+        with CacheServer(tmp_path / "shared") as server:
+            cold_vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+            cold_vm.load(assemble(LOOP))
+            cold = cold_vm.run()
+            pushed = cold_vm.save_translations(
+                RemoteRepository(server.address))
+            assert pushed > 0
+
+            warm_vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+            warm_vm.load(assemble(LOOP))
+            load = warm_vm.warm_start(RemoteRepository(server.address))
+            warm = warm_vm.run()
+        assert load.loaded == load.attempted > 0
+        assert warm.blocks_translated == 0
+        assert warm.superblocks_translated == 0
+        assert warm.output == cold.output
+        assert warm.exit_code == cold.exit_code
+
+    def test_unix_socket_transport(self, tmp_path):
+        path = tmp_path / "cache.sock"
+        with CacheServer(tmp_path / "repo", socket_path=path) as server:
+            assert server.address == f"unix:{path}"
+            client = RemoteRepository(server.address)
+            assert client.ping() is True
+        assert not path.exists()    # stop() cleans the socket up
+
+    def test_remote_stats_reach_vm_stats(self, tmp_path):
+        with CacheServer(tmp_path / "shared") as server:
+            vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+            vm.load(assemble(LOOP))
+            vm.run()
+            vm.save_translations(RemoteRepository(server.address))
+            stats = vm.stats()
+        assert stats["remote"]["requests"] >= 1
+        assert stats["remote"]["records_pushed"] > 0

@@ -205,3 +205,62 @@ class TestCacheCommand:
         with pytest.raises(SystemExit):
             main(["cache", "save", "no-such-program",
                   "--cache-dir", str(tmp_path / "cache")])
+
+
+class TestServeAndSharedCache:
+    def test_serve_runs_and_reports(self, tmp_path, capsys):
+        code = main(["serve", "--cache-dir", str(tmp_path / "repo"),
+                     "--max-seconds", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving translation cache" in out
+        assert "served 0 request(s)" in out
+
+    def test_serve_rejects_socket_plus_port(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--socket", str(tmp_path / "s.sock"),
+                  "--port", "1234"])
+
+    def test_push_pull_through_live_server(self, tmp_path, capsys):
+        from repro.cacheserver import CacheServer
+        with CacheServer(tmp_path / "served") as server:
+            code = main(["cache", "push", "fibonacci",
+                         "--server", server.address,
+                         "--cache-dir", str(tmp_path / "local"),
+                         "--hot-threshold", "50"])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"to {server.address}" in out
+            assert server.repository.stats().objects > 0
+
+            code = main(["cache", "pull", "fibonacci",
+                         "--server", server.address,
+                         "--cache-dir", str(tmp_path / "local2"),
+                         "--hot-threshold", "50"])
+            out = capsys.readouterr().out
+        assert code == 0
+        assert "warm start:" in out
+        assert "BBT blocks:           0" in out
+
+    def test_push_pull_require_server(self, tmp_path):
+        for action in ("push", "pull"):
+            with pytest.raises(SystemExit, match="--server"):
+                main(["cache", action, "fibonacci",
+                      "--cache-dir", str(tmp_path / "cache")])
+
+    def test_pull_degrades_to_local_with_dead_server(self, tmp_path,
+                                                     capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["cache", "save", "fibonacci", "--cache-dir", cache_dir,
+              "--hot-threshold", "50"])
+        capsys.readouterr()
+        code = main(["cache", "pull", "fibonacci",
+                     "--server", f"unix:{tmp_path / 'no.sock'}",
+                     "--cache-dir", cache_dir,
+                     "--timeout", "0.5", "--retries", "1",
+                     "--hot-threshold", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shared cache:" in out          # degradation reported
+        assert "fallback(s)" in out
+        assert "BBT blocks:           0" in out   # local store warm

@@ -1,0 +1,277 @@
+"""Writer lease, fsync durability, and multi-process repository safety.
+
+Covers the two concurrency bugs this robustness pass closes:
+
+* ``gc`` racing a concurrent ``save`` could evict objects a mid-flight
+  manifest was about to reference — both now serialize on the writer
+  lease and the loser degrades instead of corrupting;
+* journaled writes renamed before their data was durable, so a crash
+  could leave an *empty-but-renamed* file — the fsync now happens
+  before the rename and has its own fault point.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cacheserver import CacheServer
+from repro.core.config import vm_soft
+from repro.core.vm import CoDesignedVM
+from repro.faults import FaultInjector
+from repro.faults.classes import FaultClass
+from repro.faults.plane import injecting
+from repro.isa.x86lite import assemble
+from repro.persist import (
+    LeaseBusyError,
+    RemoteRepository,
+    TranslationRepository,
+    WriterLease,
+    capture_translations,
+    config_fingerprint,
+    image_fingerprint,
+)
+
+LOOP = """
+start:
+    mov ecx, 180
+    mov esi, 0
+top:
+    add esi, ecx
+    dec ecx
+    jnz top
+    mov eax, 1
+    mov ebx, esi
+    int 0x80
+    mov eax, 0
+    mov ebx, 0
+    int 0x80
+"""
+
+
+def populated_repo(tmp_path, name="repo"):
+    repo = TranslationRepository(tmp_path / name)
+    vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+    vm.load(assemble(LOOP))
+    vm.run()
+    vm.save_translations(repo)
+    return repo
+
+
+class TestWriterLease:
+    def test_exclusive_acquisition(self, tmp_path):
+        first = WriterLease(tmp_path)
+        second = WriterLease(tmp_path)
+        assert first.try_acquire() is True
+        assert second.try_acquire() is False
+        first.release()
+        assert second.try_acquire() is True
+        second.release()
+        assert not (tmp_path / "writer.lease").exists()
+
+    def test_acquire_times_out(self, tmp_path):
+        with WriterLease(tmp_path, ttl=60.0):
+            other = WriterLease(tmp_path)
+            assert other.acquire(timeout=0.05) is False
+
+    def test_context_manager_raises_when_contended(self, tmp_path,
+                                                   monkeypatch):
+        import repro.persist.lease as lease_mod
+        monkeypatch.setattr(lease_mod, "DEFAULT_TIMEOUT", 0.05)
+        with WriterLease(tmp_path, ttl=60.0):
+            with pytest.raises(LeaseBusyError):
+                with WriterLease(tmp_path):
+                    pass
+
+    def test_expired_lease_is_stolen(self, tmp_path):
+        stale = WriterLease(tmp_path, ttl=-1.0)   # born expired
+        assert stale.try_acquire() is True
+        thief = WriterLease(tmp_path, ttl=60.0)
+        assert thief.acquire(timeout=2.0) is True
+        # the original holder's release must not unlink the new lease
+        stale.release()
+        body = json.loads((tmp_path / "writer.lease").read_text())
+        assert body["holder"] == thief.holder
+        thief.release()
+
+    def test_unreadable_lease_is_not_broken(self, tmp_path):
+        (tmp_path / "writer.lease").write_bytes(b"\xff not json")
+        other = WriterLease(tmp_path)
+        assert other.acquire(timeout=0.05) is False
+        assert (tmp_path / "writer.lease").exists()
+
+
+class TestLeaseSerialization:
+    def test_gc_degrades_while_save_holds_lease(self, tmp_path):
+        """The gc-vs-save race: gc must not evict under a live writer."""
+        repo = populated_repo(tmp_path)
+        objects_before = repo.stats().objects
+        assert objects_before > 0
+        with WriterLease(repo.root, ttl=60.0):
+            report = repo.gc(0, lease_timeout=0.05)
+        assert report.lease_busy is True
+        assert report.evicted_objects == 0
+        assert "lease busy" in report.format()
+        assert repo.lease_failures == 1
+        assert repo.stats().objects == objects_before
+        # lease released: the same gc now evicts everything
+        assert repo.gc(0, lease_timeout=2.0).evicted_objects == \
+            objects_before
+
+    def test_save_degrades_while_lease_held(self, tmp_path):
+        repo = TranslationRepository(tmp_path / "repo")
+        vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+        vm.load(assemble(LOOP))
+        vm.run()
+        records = capture_translations(vm.runtime.directory,
+                                       vm.state.memory)
+        with WriterLease(repo.root, ttl=60.0):
+            written = repo.save(records, "cfg", "img",
+                                lease_timeout=0.05)
+        assert written == 0
+        assert repo.lease_failures == 1
+        assert repo.stats().objects == 0
+        assert repo.save(records, "cfg", "img") == len(records)
+
+
+class _FsyncFault(FaultClass):
+    """Test-local fault: fail every fsync with EIO."""
+
+    name = "fsync-eio"
+    sites = ("repo.fsync",)
+    rate = 1.0
+
+    def fire(self, rng, site, context):
+        raise OSError(5, f"injected EIO fsyncing {context.get('path')}")
+
+
+class TestFsyncDurability:
+    def test_save_fsyncs_before_rename(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        renamed = []
+        real_replace = os.replace
+
+        def spy_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            renamed.append(str(dst))
+            assert synced, f"renamed {dst} before any fsync"
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        populated_repo(tmp_path)
+        assert len(synced) >= len(renamed) > 0
+
+    def test_fsync_failure_absorbed_without_torn_files(self, tmp_path):
+        repo = TranslationRepository(tmp_path / "repo")
+        vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+        vm.load(assemble(LOOP))
+        vm.run()
+        records = capture_translations(vm.runtime.directory,
+                                       vm.state.memory)
+        injector = FaultInjector(7, [_FsyncFault()])
+        with injecting(injector):
+            written = repo.save(records, config_fingerprint(vm.config),
+                                image_fingerprint(vm._image))
+        assert written == 0                 # every write failed durably
+        assert repo.io_errors > 0
+        assert injector.injected["fsync-eio"] > 0
+        # nothing renamed into place, nothing torn: no objects, no
+        # stray .tmp journals, any surviving file parses as JSON
+        leftovers = [path for path in repo.root.rglob("*.tmp")]
+        assert leftovers == []
+        for path in repo.root.rglob("*.json"):
+            json.loads(path.read_text())
+        assert repo.stats().objects == 0
+
+
+# -- multi-process writers ----------------------------------------------------
+#
+# Spawned workers (must be importable top-level functions): each saves
+# the same record set under its own image fingerprint plus one shared
+# contended fingerprint, either directly into the repository or through
+# the cache server.  Afterwards fsck must find nothing to repair.
+
+def _direct_writer(root, records, config_fp, worker):
+    repo = TranslationRepository(root)
+    total = 0
+    for round_num in range(3):
+        total += repo.save(records, config_fp, f"img-{worker}",
+                           config_name=f"w{worker}")
+        total += repo.save(records, config_fp, "img-shared",
+                           config_name="shared")
+    return total
+
+
+def _server_writer(address, local, records, config_fp, worker):
+    client = RemoteRepository(address, local=local, retries=3,
+                              sleep=lambda _s: None)
+    total = 0
+    for round_num in range(3):
+        total += client.save(records, config_fp, f"img-{worker}",
+                             config_name=f"w{worker}")
+        total += client.save(records, config_fp, "img-shared",
+                             config_name="shared")
+    stats = client.remote_stats
+    return total, stats.fallbacks
+
+
+class TestConcurrentWriters:
+    WORKERS = 4
+
+    @pytest.fixture
+    def payload(self):
+        vm = CoDesignedVM(vm_soft(), hot_threshold=50)
+        vm.load(assemble(LOOP))
+        vm.run()
+        records = capture_translations(vm.runtime.directory,
+                                       vm.state.memory)
+        return records, config_fingerprint(vm.config)
+
+    def test_many_processes_one_repository(self, tmp_path, payload):
+        records, config_fp = payload
+        root = str(tmp_path / "shared-repo")
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(self.WORKERS) as pool:
+            results = pool.starmap(
+                _direct_writer,
+                [(root, records, config_fp, worker)
+                 for worker in range(self.WORKERS)])
+        repo = TranslationRepository(root)
+        # the first writer stores every object; the rest dedup to 0
+        assert sum(results) == len(records)
+        check = repo.fsck(repair=False)
+        assert check.ok, check.format()
+        for worker in range(self.WORKERS):
+            loaded = repo.load(config_fp, f"img-{worker}")
+            assert {r["key"] for r in loaded} == \
+                {r["key"] for r in records}
+        assert len(repo.load(config_fp, "img-shared")) == len(records)
+
+    def test_many_processes_one_server(self, tmp_path, payload):
+        records, config_fp = payload
+        with CacheServer(tmp_path / "served",
+                         lease_timeout=10.0) as server:
+            context = multiprocessing.get_context("spawn")
+            with context.Pool(self.WORKERS) as pool:
+                results = pool.starmap(
+                    _server_writer,
+                    [(server.address, str(tmp_path / f"local-{worker}"),
+                      records, config_fp, worker)
+                     for worker in range(self.WORKERS)])
+            repo = server.repository
+            check = repo.fsck(repair=False)
+            assert check.ok, check.format()
+            # every writer's manifest pulls complete from the one store
+            for worker in range(self.WORKERS):
+                loaded = repo.load(config_fp, f"img-{worker}")
+                assert {r["key"] for r in loaded} == \
+                    {r["key"] for r in records}
+            # no client had to fall back: the server serialized writes
+            assert all(fallbacks == 0 for _written, fallbacks in results)
+            assert repo.stats().objects == len(records)

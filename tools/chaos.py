@@ -5,8 +5,11 @@ Sweeps the full fault matrix over the seed workloads:
 
 * every registered fault class alone at a forced rate, in every mode
   it has surface in (warm boot from a mangled repository, cold run
-  with runtime faults armed);
+  with runtime faults armed, or — for the network classes — a warm
+  boot through a live cache server and the fault-tolerant client);
 * all classes together at several seeds, both modes;
+* all classes together through the remote client/server path (the
+  client/server chaos cocktail of ``docs/cache_server.md``);
 * an fsck round-trip per disk fault class: mangle, ``fsck --repair``,
   re-check clean, then warm-start from the repaired store.
 
@@ -35,6 +38,7 @@ from repro.faults import (                               # noqa: E402
     all_fault_names,
     make_fault,
     modes_for,
+    needs_remote,
     prepare_baseline,
     run_faulted,
 )
@@ -45,6 +49,10 @@ from repro.workloads.programs import PROGRAMS            # noqa: E402
 HOT_THRESHOLD = 20
 WORKLOADS = ("fibonacci", "checksum", "bubble_sort", "sieve")
 COCKTAIL_SEEDS = (0, 1, 2, 3)
+# the remote client/server path is slower (real sockets), so the
+# remote cocktail sweeps a subset of workloads and seeds
+REMOTE_WORKLOADS = ("fibonacci", "checksum")
+REMOTE_SEEDS = (0, 1, 2)
 
 
 def chaos_matrix(workdir: str) -> int:
@@ -55,15 +63,37 @@ def chaos_matrix(workdir: str) -> int:
                                     hot_threshold=HOT_THRESHOLD)
         runs = []
         for fault in all_fault_names():
+            remote = needs_remote([fault])
             for warm in modes_for([fault]):
-                runs.append(([fault], 11, warm, {"rate": 1.0}))
+                runs.append(([fault], 11, warm, remote, {"rate": 1.0}))
         for seed in COCKTAIL_SEEDS:
             for warm in (True, False):
-                runs.append((all_fault_names(), seed, warm, {}))
-        for faults, seed, warm, overrides in runs:
+                runs.append((all_fault_names(), seed, warm, False, {}))
+        for faults, seed, warm, remote, overrides in runs:
             outcome = run_faulted(baseline, faults, seed,
                                   workdir=workdir, warm=warm,
-                                  **overrides)
+                                  remote=remote, **overrides)
+            print(outcome.format())
+            if not outcome.ok:
+                failures += 1
+    return failures
+
+
+def remote_cocktail(workdir: str) -> int:
+    """All fault classes at once through a live server + client.
+
+    Disk faults mangle the served repository, network faults strike the
+    client's socket path, runtime faults hit whatever translation work
+    is left — and the architected outcome must still match the
+    fault-free baseline exactly.
+    """
+    failures = 0
+    for name in REMOTE_WORKLOADS:
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        for seed in REMOTE_SEEDS:
+            outcome = run_faulted(baseline, all_fault_names(), seed,
+                                  workdir=workdir, remote=True)
             print(outcome.format())
             if not outcome.ok:
                 failures += 1
@@ -118,6 +148,8 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
         print("== chaos matrix (fault class x workload x mode) ==")
         failures += chaos_matrix(workdir)
+        print("\n== client/server chaos cocktail (remote mode) ==")
+        failures += remote_cocktail(workdir)
         print("\n== fsck repair round-trip (disk fault classes) ==")
         failures += fsck_roundtrip(workdir)
     if failures:
