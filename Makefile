@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint verify bench bench-smoke chaos trace-smoke serve-smoke examples figures clean
+.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -10,14 +10,18 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-# Static analysis: ruff + mypy when available, else the zero-dependency
-# fallback (tools/minilint.py) so the target always means something.
+# Static analysis (docs/static_analysis.md): reprolint's
+# project-invariant rules always run — determinism, lock discipline,
+# fault-point coverage, taxonomy conformance.  Style checking goes to
+# ruff + mypy when installed; otherwise reprolint's built-in style pack
+# (the old tools/minilint.py) covers the zero-dependency case.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests tools; \
+		PYTHONPATH=src $(PYTHON) -m repro lint --no-style; \
 	else \
-		echo "ruff not installed; using tools/minilint.py"; \
-		$(PYTHON) tools/minilint.py src tests tools; \
+		echo "ruff not installed; reprolint style pack covers F401/E501/W19x/W29x"; \
+		PYTHONPATH=src $(PYTHON) -m repro lint; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
 		mypy; \
@@ -25,12 +29,17 @@ lint:
 		echo "mypy not installed; skipping type check"; \
 	fi
 
+# The verify-gate flavor: the baseline escape hatch is disabled, so
+# legacy violations fail too; only inline-justified suppressions pass.
+lint-strict:
+	PYTHONPATH=src $(PYTHON) -m repro lint --strict
+
 # Lint + the tier-1 suite with the translation verifier forced on
 # (the autouse sanitizer fixture arms the full rule-pack at every
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint bench-smoke chaos trace-smoke serve-smoke
+verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:

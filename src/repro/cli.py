@@ -40,6 +40,11 @@ Commands:
 * ``serve [--socket PATH | --port N] [--cache-dir DIR]`` — run the
   shared translation-cache server over one repository until
   interrupted.
+* ``lint [PATHS...] [--strict] [--json] [--rules IDS] [--no-style]``
+  — run reprolint, the project-invariant static analyzer (determinism,
+  lock discipline, fault-point coverage, taxonomy conformance, plus the
+  old minilint style pack); see :mod:`repro.lint` and
+  ``docs/static_analysis.md``.
 """
 
 from __future__ import annotations
@@ -369,6 +374,11 @@ def _print_degradation(remote) -> None:
               f"(breaker opened {stats.breaker_opens}x)")
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+    return run_lint(args)
+
+
 def cmd_configs(_args: argparse.Namespace) -> int:
     rows = []
     for name, config in ALL_CONFIGS().items():
@@ -526,6 +536,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fsck: quarantine corrupt objects and "
                             "repair the index/manifests in place")
     cache.set_defaults(func=cmd_cache)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run reprolint, the project-invariant static analyzer")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

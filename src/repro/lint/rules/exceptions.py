@@ -1,0 +1,89 @@
+"""EXC001 — no silent broad exception handlers in degradation paths.
+
+The stack degrades on purpose — a failed save saves nothing, a dead
+server falls back to the local store — but *silent* degradation is how
+real incidents become unexplainable: the self-healing design
+(``docs/robustness.md``) requires every absorbed failure to leave a
+trace (a logger call or a flight-recorder dump).
+
+A handler for bare ``except:``, ``except Exception`` or ``except
+BaseException`` is flagged unless it does at least one of:
+
+* **re-raise** (``raise`` anywhere in the body);
+* **use the exception** — bind it (``as error``) and pass it to
+  something (a log call, ``_fall_back``, a flight dump, an error
+  frame);
+* **log explicitly** — call ``log.warning``/``.exception``/... or
+  ``flight_dump`` in the body.
+
+Narrow handlers (``except OSError: pass``) are out of scope: catching
+a *specific* exception and moving on is a statement about that
+exception, while a broad catch-and-ignore can hide anything, including
+the bugs the chaos gate exists to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Rule, Violation, register_rule
+from repro.lint.index import ModuleInfo, ProjectIndex
+from repro.lint.rules.common import call_target
+
+_BROAD = {"Exception", "BaseException"}
+_LOG_METHODS = {"debug", "info", "warning", "error", "exception",
+                "critical", "log", "flight_dump"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    names = [node] if not isinstance(node, ast.Tuple) else node.elts
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _BROAD:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in _BROAD:
+            return True
+    return False
+
+
+@register_rule
+class SilentBroadExceptRule(Rule):
+    rule_id = "EXC001"
+    title = "broad except swallows the exception silently"
+    rationale = ("degradation must be observable: absorb the failure, "
+                 "but log it or hand it to the flight recorder")
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> Iterable[Violation]:
+        if not module.package:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                if not self._handled_loudly(node):
+                    caught = "bare except" if node.type is None else \
+                        "broad except"
+                    yield self.violation(
+                        module, node.lineno,
+                        f"{caught} handler neither re-raises, logs, "
+                        f"nor uses the exception; silent degradation "
+                        f"is undiagnosable")
+
+    @staticmethod
+    def _handled_loudly(handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in ast.walk(ast.Module(body=handler.body,
+                                        type_ignores=[])):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound and isinstance(node, ast.Name) \
+                    and node.id == bound \
+                    and isinstance(node.ctx, ast.Load):
+                return True     # exception handed to *something*
+            if isinstance(node, ast.Call):
+                receiver, func = call_target(node)
+                if func in _LOG_METHODS and receiver is not None:
+                    return True
+        return False

@@ -98,6 +98,8 @@ class FsckReport:
 
 def _meta_is_valid(repo) -> bool:
     try:
+        # reprolint: disable=FLT001 - fsck IS the repair path and runs
+        # with injection disarmed; faulting it would break self-healing
         with open(repo.meta_path) as handle:
             meta = json.load(handle)
     except FileNotFoundError:

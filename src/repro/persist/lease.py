@@ -82,6 +82,9 @@ class WriterLease:
             "expires": time.time() + self.ttl,
         })
         try:
+            # reprolint: disable=FLT001 - lease contention is injected
+            # at the net.lease fault site; a repo-plane fault here would
+            # stall every chaos run on lease-acquire timeouts instead
             fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
             return False
@@ -135,6 +138,8 @@ class WriterLease:
         tombstone = self.path.with_name(
             f"writer.lease.stale-{_holder_id()}")
         try:
+            # reprolint: disable=FLT001 - see try_acquire: the lease
+            # protocol is exercised via net.lease, not the repo plane
             os.rename(self.path, tombstone)
         except OSError:
             return      # someone else broke (or released) it first

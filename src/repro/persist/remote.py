@@ -401,14 +401,16 @@ class RemoteRepository:
         try:
             self._request("ping", {})
             return True
-        except Exception:  # noqa: BLE001 - degrade, never raise
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            log.debug("ping failed: %s", error)
             return False
 
     def server_stats(self) -> Optional[Dict]:
         """The server's repository + request stats, or None."""
         try:
             response = self._request("stats", {})
-        except Exception:  # noqa: BLE001 - degrade, never raise
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            log.debug("stats request failed: %s", error)
             return None
         return {"repository": response.get("repository"),
                 "server": response.get("server")}

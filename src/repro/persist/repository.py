@@ -386,6 +386,7 @@ class TranslationRepository:
         if self.manifests_dir.is_dir():
             for path in sorted(self.manifests_dir.glob("*.json")):
                 try:
+                    fault_point("repo.read", path=str(path))
                     with open(path) as handle:
                         manifest = json.load(handle)
                 except (OSError, ValueError):
@@ -477,6 +478,7 @@ class TranslationRepository:
             return
         for path in self.manifests_dir.glob("*.json"):
             try:
+                fault_point("repo.read", path=str(path))
                 with open(path) as handle:
                     manifest = json.load(handle)
             except (OSError, ValueError):

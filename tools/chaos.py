@@ -143,7 +143,32 @@ def fsck_roundtrip(workdir: str) -> int:
     return failures
 
 
+def preflight_fault_sites() -> int:
+    """Fail fast when the fault-site registry has drifted.
+
+    A fault class whose site string no production code visits makes
+    every chaos run of that class silently test nothing — the sweep
+    would pass while injecting zero faults.  reprolint's FLT001 rule
+    checks the same invariant at lint time; this preflight stops the
+    (much slower) chaos sweep before it burns minutes on a vacuous
+    matrix.
+    """
+    from repro.lint.index import fault_site_drift
+    drift = fault_site_drift()
+    if not drift:
+        return 0
+    print("chaos gate: fault-site registry drift — the following "
+          "registered sites have no fault_point(...) call site:")
+    for name, missing in sorted(drift.items()):
+        print(f"  {name}: {', '.join(missing)}")
+    print("fix the registry or the call sites (reprolint rule FLT001; "
+          "see docs/static_analysis.md), then re-run")
+    return 1
+
+
 def main() -> int:
+    if preflight_fault_sites():
+        return 1
     failures = 0
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
         print("== chaos matrix (fault class x workload x mode) ==")

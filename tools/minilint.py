@@ -1,110 +1,33 @@
 #!/usr/bin/env python
-"""Fallback linter for environments without ruff/mypy.
+"""Back-compat shim: the style pack now lives in :mod:`repro.lint`.
 
-Approximates the ruff surface configured in pyproject.toml with zero
-dependencies: syntax errors, unused imports (F401), overlong lines
-(E501, 99 columns), trailing whitespace (W291/W293) and tab
-indentation (W191).  ``make lint`` runs this when ruff is missing.
+Historically this file was a standalone zero-dependency fallback
+linter (F401/E501/W291/W191 plus syntax errors) for environments
+without ruff.  PR 6 folded that logic into reprolint as the style
+pack; this entry point survives so ``python tools/minilint.py`` and
+older CI wiring keep working.  It is exactly
+``python -m repro lint --style-only``.
+
+Prefer ``python -m repro lint`` (or ``make lint``), which also runs
+the project-invariant rules — determinism, lock discipline,
+fault-point coverage, taxonomy conformance — documented in
+``docs/static_analysis.md``.
 
 Usage: python tools/minilint.py [PATH ...]   (defaults to src tests tools)
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import List
 
-MAX_LINE = 99
-
-Problem = Tuple[Path, int, str]
-
-
-def iter_python_files(paths: List[str]) -> Iterator[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_file() and path.suffix == ".py":
-            yield path
-        elif path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-
-
-def _import_bindings(tree: ast.AST) -> List[Tuple[int, str]]:
-    """(line, bound name) for every import binding in the module."""
-    bindings: List[Tuple[int, str]] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                name = alias.asname or alias.name.split(".")[0]
-                bindings.append((node.lineno, name))
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                name = alias.asname or alias.name
-                bindings.append((node.lineno, name))
-    return bindings
-
-
-def check_unused_imports(path: Path, source: str,
-                         tree: ast.AST) -> Iterator[Problem]:
-    # __init__ modules import things to re-export them
-    if path.name == "__init__.py":
-        return
-    for lineno, name in _import_bindings(tree):
-        if name.startswith("_"):
-            continue
-        # textual use count is deliberately forgiving: occurrences in
-        # string annotations, docstrings or comments all count as uses,
-        # so anything reported here really is dead
-        uses = len(re.findall(rf"\b{re.escape(name)}\b", source))
-        imports = len(re.findall(
-            rf"^\s*(?:from\s+\S+\s+)?import\b.*\b{re.escape(name)}\b",
-            source, re.MULTILINE))
-        if uses <= imports:
-            yield (path, lineno, f"F401 '{name}' imported but unused")
-
-
-def check_lines(path: Path, source: str) -> Iterator[Problem]:
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        if len(line) > MAX_LINE:
-            yield (path, lineno,
-                   f"E501 line too long ({len(line)} > {MAX_LINE})")
-        if line != line.rstrip():
-            yield (path, lineno, "W291 trailing whitespace")
-        stripped = line.lstrip(" ")
-        if stripped.startswith("\t"):
-            yield (path, lineno, "W191 tab indentation")
-
-
-def lint_file(path: Path) -> List[Problem]:
-    source = path.read_text()
-    problems: List[Problem] = []
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as error:
-        return [(path, error.lineno or 0, f"E999 {error.msg}")]
-    problems.extend(check_unused_imports(path, source, tree))
-    problems.extend(check_lines(path, source))
-    return problems
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 
 def main(argv: List[str]) -> int:
-    paths = argv or ["src", "tests", "tools"]
-    problems: List[Problem] = []
-    files = 0
-    for path in iter_python_files(paths):
-        files += 1
-        problems.extend(lint_file(path))
-    for path, lineno, message in problems:
-        print(f"{path}:{lineno}: {message}")
-    summary = f"minilint: {files} file(s), {len(problems)} problem(s)"
-    print(summary, file=sys.stderr)
-    return 1 if problems else 0
+    from repro.cli import main as repro_main
+    return repro_main(["lint", "--style-only"] + list(argv))
 
 
 if __name__ == "__main__":
