@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke examples figures clean
+.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,7 +39,7 @@ lint-strict:
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke
+verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -70,6 +70,13 @@ trace-smoke:
 # reproduce the cold run's architected results (docs/cache_server.md).
 serve-smoke:
 	$(PYTHON) tools/server_smoke.py
+
+# Mass-boot gate: sweep every boot/image policy pair on a small herd —
+# architected equality per instance, valid percentile reports, a real
+# amortization gain in the staged shared-image scenario, and
+# byte-identical same-seed reports (docs/fleet.md).
+fleet-smoke:
+	$(PYTHON) tools/fleet_smoke.py
 
 # Run every example script end to end.
 examples:

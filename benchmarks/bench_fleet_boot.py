@@ -1,0 +1,121 @@
+"""Mass-boot consolidation — the paper's server scenario, herd-sized.
+
+Section 1's motivating deployment is server consolidation: many VM
+instances sharing one physical machine, where every instance booting
+cold pays the translation startup transient the paper sets out to
+kill.  This bench runs the fleet harness over the acceptance grid —
+herd sizes 8 and 64, both boot policies, both image policies — against
+one shared translation-cache server and reproduces the headline
+claims:
+
+* in the **staged shared-image** configuration (``one_then_others`` x
+  ``one``), rank 0 translates once and every later rank warm-starts
+  from the server: the amortization curve collapses after rank 0 and
+  later pushes write **zero** new objects;
+* ``all_at_once`` boots see the initial (empty) store, so every rank
+  pays the identical cold transient — sharing needs staging, not just
+  a shared server;
+* ``one_per_vm`` (uniquely perturbed images) defeats manifest sharing
+  no matter the boot policy: warm starts load nothing and every rank
+  translates cold;
+* the whole grid is **deterministic**: two sweeps at the same seed
+  serialize byte-identically (the contract behind
+  ``results/fleet_boot.json``).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.fleet import (
+    DEFAULT_GRID,
+    FleetEngine,
+    FleetScenario,
+    amortization_gain,
+    build_report,
+    expand_grid,
+    fleet_entry,
+    run_sweep,
+    serialize_report,
+    validate_report,
+)
+from conftest import emit, emit_json
+
+
+def _sweep():
+    return run_sweep(expand_grid(DEFAULT_GRID, workers=8))
+
+
+def test_fleet_boot(benchmark):
+    results = _sweep()
+    report = build_report(results)
+    assert validate_report(report) == []
+    assert all(result.arch_ok for result in results)
+
+    rows = []
+    for result, entry in zip(results, report["fleets"]):
+        scenario = entry["scenario"]
+        tts = entry["tts"]
+        curve = entry["amortization"]
+        gain = amortization_gain(entry)
+        rows.append([
+            scenario["n"], scenario["boot_policy"],
+            scenario["image_policy"],
+            curve[0]["tts_cycles"], tts["p50"], tts["p95"], tts["p99"],
+            f"{gain:.2f}" if gain != float("inf") else "inf",
+            sum(point["push_written"] for point in curve),
+        ])
+
+        shared = scenario["image_policy"] == "one"
+        staged = scenario["boot_policy"] == "one_then_others"
+        rank0 = curve[0]
+        if staged and shared:
+            # the headline: later ranks boot strictly cheaper than
+            # rank 0 and their pushes dedup to zero new objects
+            assert gain > 1.0
+            for point in curve[1:]:
+                assert point["tts_cycles"] < rank0["tts_cycles"]
+                assert point["records_loaded"] > 0
+                assert point["push_written"] == 0
+        elif shared:
+            # all_at_once: everyone saw the empty store; identical cold
+            # transient, dedup only at publish time
+            assert len({point["tts_cycles"] for point in curve}) == 1
+            assert sum(p["push_written"] for p in curve) == \
+                rank0["push_written"]
+        else:
+            # one_per_vm: distinct fingerprints, nothing to share
+            assert all(p["records_loaded"] == 0 for p in curve)
+
+        # the herd was healthy: no retries/fallbacks/breaker trips
+        assert all(count == 0 for count in entry["degraded"].values())
+        # server load scales with the herd: one pull per instance
+        assert entry["server"]["requests"]["pull"] == scenario["n"]
+        assert entry["server"]["errors"] == 0
+
+    # determinism acceptance: a second sweep serializes byte-identically
+    assert serialize_report(build_report(_sweep())) == \
+        serialize_report(report)
+
+    table = format_table(
+        ["n", "boot policy", "image policy", "rank0 tts", "p50 tts",
+         "p95 tts", "p99 tts", "gain", "objects written"],
+        rows,
+        title="Fleet boots - time-to-steady-state (simulated cycles) "
+              "across the acceptance grid")
+    notes = ("\nstaged shared-image fleets amortize rank 0's "
+             "translations through the cache server; every other "
+             "combination pays the cold transient per instance")
+    emit("fleet_boot", table + notes)
+    emit_json("fleet_boot", report)
+
+    # timed kernel: one staged shared-image herd end to end
+    benchmark(lambda: FleetEngine().run(
+        FleetScenario(n=8, boot_policy="one_then_others", workers=8)))
+
+
+def test_fleet_entry_is_canonical():
+    """The per-fleet report entry never leaks wall-clock fields."""
+    result = FleetEngine().run(FleetScenario(n=2, workers=2))
+    entry = fleet_entry(result)
+    assert "latency" not in entry["server"]
+    assert "ops" not in entry
+    loose = fleet_entry(result, canonical=False)
+    assert "latency" in loose["server"]

@@ -50,7 +50,11 @@ HEADER_SIZE = _HEADER.size
 MAX_PAYLOAD = 64 * 1024 * 1024
 
 #: Error categories a server may return; the client retries only these.
-RETRYABLE_ERRORS = frozenset({"lease-busy"})
+#: ``lease-busy`` is writer-lease contention; ``busy`` is the
+#: connection-admission guard (``--max-conns`` backpressure or a
+#: draining server) — both clear on their own, so backing off and
+#: retrying is correct where any other error is final.
+RETRYABLE_ERRORS = frozenset({"lease-busy", "busy"})
 
 
 class ProtocolError(Exception):

@@ -26,7 +26,13 @@ Design points:
   records were deduplicated;
 * the server **never trusts the network**: any protocol violation on a
   connection answers with an error frame when possible and drops the
-  connection, never the process.
+  connection, never the process;
+* **bounded and drainable**: ``max_conns`` rejects excess connections
+  with a retryable ``busy`` error instead of piling up handler
+  threads, and :meth:`CacheServer.drain` (the ``repro serve``
+  SIGTERM/SIGINT path) finishes in-flight requests — releasing any
+  held writer lease — before closing, so mass-boot fleets shut down
+  cleanly.
 
 The server is deliberately dumb about *correctness* of translations —
 every client re-fingerprints sources and re-screens records through
@@ -40,24 +46,50 @@ import logging
 import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Optional
 
 from repro.cacheserver import protocol
+from repro.obs.metrics import MetricsRegistry, metric_field
 from repro.persist.format import PersistFormatError, validate_record
 from repro.persist.repository import TranslationRepository
 
 log = logging.getLogger("repro.cacheserver")
 
+#: Latency percentiles the stats op / fleet report surface.
+_LATENCY_PERCENTILES = (50, 95, 99)
+
 
 class ServerStats:
-    """Thread-safe request counters (the ``stats`` op reports these)."""
+    """Thread-safe request counters + per-op latency histograms.
+
+    Counters route through an owned :class:`~repro.obs.metrics
+    .MetricsRegistry` via :func:`~repro.obs.metrics.metric_field`
+    (same single-source-of-truth discipline as the VM runtime's
+    stats), per-op request counts are labeled ``server_requests``
+    counter series, and :meth:`observe_latency` feeds pow2
+    ``server_op_latency_ms`` histograms whose p50/p95/p99 the
+    ``stats`` op and the fleet report's server-load section read.
+    Latency is wall-clock by nature, so report consumers keep it out
+    of canonical (byte-stable) documents.
+    """
+
+    errors = metric_field("server_errors")
+    connections = metric_field("server_connections")
+    conns_rejected = metric_field("server_conns_rejected")
+    records_served = metric_field("server_records_served")
+    records_received = metric_field("server_records_received")
+    objects_deduped = metric_field("server_objects_deduped")
+    records_rejected = metric_field("server_records_rejected")
+    lease_busy = metric_field("server_lease_busy")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.requests: Dict[str, int] = {}
+        self.metrics = MetricsRegistry()
         self.errors = 0
         self.connections = 0
+        self.conns_rejected = 0
         self.records_served = 0
         self.records_received = 0
         self.objects_deduped = 0
@@ -70,19 +102,49 @@ class ServerStats:
 
     def count_request(self, op: str) -> None:
         with self._lock:
-            self.requests[op] = self.requests.get(op, 0) + 1
+            self.metrics.counter("server_requests", op=op).inc()
+
+    def observe_latency(self, op: str, ms: float) -> None:
+        with self._lock:
+            self.metrics.histogram("server_op_latency_ms",
+                                   op=op).observe(ms)
+
+    @property
+    def requests(self) -> Dict[str, int]:
+        """Per-op request counts (a snapshot dict, sorted by op)."""
+        with self._lock:
+            return self._requests()
+
+    def _requests(self) -> Dict[str, int]:
+        return {series.labels["op"]: series.value
+                for series in self.metrics
+                if series.name == "server_requests"}
+
+    def _latency(self) -> Dict[str, Dict]:
+        summary: Dict[str, Dict] = {}
+        for series in self.metrics:
+            if series.name != "server_op_latency_ms":
+                continue
+            entry = {"count": series.count, "mean": series.mean,
+                     "min": series.min, "max": series.max}
+            for q in _LATENCY_PERCENTILES:
+                entry[f"p{q}"] = series.percentile(q)
+            summary[series.labels["op"]] = entry
+        return summary
 
     def to_dict(self) -> Dict:
         with self._lock:
             return {
-                "requests": dict(sorted(self.requests.items())),
+                "requests": self._requests(),
                 "errors": self.errors,
                 "connections": self.connections,
+                "conns_rejected": self.conns_rejected,
                 "records_served": self.records_served,
                 "records_received": self.records_received,
                 "objects_deduped": self.objects_deduped,
                 "records_rejected": self.records_rejected,
                 "lease_busy": self.lease_busy,
+                "latency": self._latency(),
             }
 
 
@@ -93,31 +155,43 @@ class _Handler(socketserver.BaseRequestHandler):
         server: CacheServer = self.server.cache_server
         sock = self.request
         sock.settimeout(server.connection_timeout)
+        if not server._admit(sock):
+            # backpressure/drain rejection: answer with the retryable
+            # ``busy`` category, then drop the connection
+            server.stats.count("conns_rejected")
+            self._try_send(sock, protocol.error(
+                "busy", "connection limit reached or server draining"))
+            return
         server.stats.count("connections")
-        while True:
-            try:
-                first = sock.recv(1)
-            except (socket.timeout, OSError):
-                return
-            if not first:
-                return          # clean EOF between frames
-            try:
-                header = first + protocol.recv_exactly(
-                    sock, protocol.HEADER_SIZE - 1)
-                length, crc = protocol.decode_header(header)
-                payload = protocol.recv_exactly(sock, length)
-                request = protocol.decode_payload(payload, crc)
-            except protocol.ProtocolError as error:
-                server.stats.count("errors")
-                log.warning("dropping connection: %s", error)
-                self._try_send(sock, protocol.error("bad-request",
-                                                    str(error)))
-                return
-            except (socket.timeout, OSError):
-                return
-            response = server.dispatch(request)
-            if not self._try_send(sock, response):
-                return
+        try:
+            while True:
+                try:
+                    first = sock.recv(1)
+                except (socket.timeout, OSError):
+                    return
+                if not first:
+                    return          # clean EOF between frames
+                try:
+                    header = first + protocol.recv_exactly(
+                        sock, protocol.HEADER_SIZE - 1)
+                    length, crc = protocol.decode_header(header)
+                    payload = protocol.recv_exactly(sock, length)
+                    request = protocol.decode_payload(payload, crc)
+                except protocol.ProtocolError as error:
+                    server.stats.count("errors")
+                    log.warning("dropping connection: %s", error)
+                    self._try_send(sock, protocol.error("bad-request",
+                                                        str(error)))
+                    return
+                except (socket.timeout, OSError):
+                    return
+                response = server.dispatch(request)
+                if not self._try_send(sock, response):
+                    return
+                if server.draining:
+                    return          # in-flight request finished; close
+        finally:
+            server._release(sock)
 
     @staticmethod
     def _try_send(sock, message: Dict) -> bool:
@@ -147,7 +221,8 @@ class CacheServer:
     def __init__(self, repository, socket_path=None,
                  host: str = "127.0.0.1", port: int = 0,
                  tracer=None, lease_timeout: float = 5.0,
-                 connection_timeout: float = 30.0) -> None:
+                 connection_timeout: float = 30.0,
+                 max_conns: Optional[int] = None) -> None:
         if isinstance(repository, TranslationRepository):
             self.repository = repository
         else:
@@ -158,6 +233,10 @@ class CacheServer:
         self.tracer = tracer
         self.lease_timeout = lease_timeout
         self.connection_timeout = connection_timeout
+        #: admission bound on concurrent connections (None = unlimited);
+        #: excess clients get a retryable ``busy`` error instead of an
+        #: unbounded handler-thread pile-up
+        self.max_conns = max_conns
         self.stats = ServerStats()
         self._server: Optional[socketserver.BaseServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -165,6 +244,12 @@ class CacheServer:
         #: check below cannot be confused by a sibling handler thread
         self._push_lock = threading.Lock()
         self._trace_lock = threading.Lock()
+        #: guards the connection-admission state below (and doubles as
+        #: the condition drain() waits on)
+        self._conn_lock = threading.Condition()
+        self._active_conns = 0
+        self._conn_socks: set = set()
+        self._draining = False
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -233,6 +318,75 @@ class CacheServer:
                 pass
         self._trace("server.stop", address=self.address)
 
+    # -- connection admission / graceful drain ------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def active_connections(self) -> int:
+        with self._conn_lock:
+            return self._active_conns
+
+    def _admit(self, sock) -> bool:
+        """One connection asks to be served; False = reject (busy)."""
+        with self._conn_lock:
+            if self._draining:
+                return False
+            if self.max_conns is not None \
+                    and self._active_conns >= self.max_conns:
+                return False
+            self._active_conns += 1
+            self._conn_socks.add(sock)
+            return True
+
+    def _release(self, sock) -> None:
+        with self._conn_lock:
+            self._active_conns -= 1
+            self._conn_socks.discard(sock)
+            self._conn_lock.notify_all()
+
+    def drain(self, grace: float = 5.0) -> bool:
+        """Graceful shutdown (the SIGTERM/SIGINT path of ``repro
+        serve``): stop accepting, reject new connections with the
+        retryable ``busy`` error, let every in-flight request finish
+        and flush its response — a push holding the writer lease
+        releases it when the save completes — then stop the server.
+
+        Persistent connections close right after their current frame;
+        a connection sitting idle past ``grace`` seconds is cut.
+        Returns True when every connection finished inside ``grace``.
+        """
+        with self._conn_lock:
+            if self._draining and self._server is None:
+                return True     # already drained
+            self._draining = True
+        server = self._server
+        if server is not None:
+            server.shutdown()   # no new accepts; listener closes below
+        with self._conn_lock:
+            clean = self._conn_lock.wait_for(
+                lambda: self._active_conns == 0, timeout=grace)
+            if not clean:
+                # idle persistent connections never send another
+                # frame; cut them so handler threads cannot leak
+                for sock in list(self._conn_socks):
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+                self._conn_lock.wait_for(
+                    lambda: self._active_conns == 0, timeout=1.0)
+        log.info("cache server drained %s (%s)", self.address,
+                 "clean" if clean else "idle connections cut")
+        self.stop()
+        return clean
+
     def __enter__(self) -> "CacheServer":
         self.start()
         return self
@@ -257,6 +411,7 @@ class CacheServer:
             return protocol.error("bad-request", f"unknown op {op!r}")
         self.stats.count_request(op)
         self._trace("server.request", op=op)
+        started = time.perf_counter()
         try:
             return handler(request)
         except Exception as error:   # noqa: BLE001 - the connection
@@ -265,6 +420,9 @@ class CacheServer:
             log.exception("op %s failed", op)
             return protocol.error(
                 "internal", f"{type(error).__name__}: {error}")
+        finally:
+            self.stats.observe_latency(
+                op, (time.perf_counter() - started) * 1000.0)
 
     @staticmethod
     def _fingerprints(request: Dict):

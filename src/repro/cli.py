@@ -37,9 +37,19 @@ Commands:
   translations, ``pull`` warm-starts from the server.  Any server
   failure degrades to the local ``--cache-dir`` repository and
   ultimately to cold translation (see ``docs/cache_server.md``).
-* ``serve [--socket PATH | --port N] [--cache-dir DIR]`` — run the
-  shared translation-cache server over one repository until
-  interrupted.
+* ``serve [--socket PATH | --port N] [--cache-dir DIR] [--max-conns N]``
+  — run the shared translation-cache server over one repository until
+  SIGTERM/SIGINT, then drain gracefully (finish in-flight requests,
+  release the writer lease, print per-op latency percentiles);
+  ``--max-conns`` rejects excess clients with a retryable ``busy``
+  error.
+* ``fleet {run,sweep,report}`` — the mass-boot scenario harness
+  (:mod:`repro.fleet`, ``docs/fleet.md``): boot N instances through a
+  worker pool against a self-hosted cache server (``run``), expand a
+  {N, boot policy, image policy} grid and boot every scenario
+  (``sweep``, emitting a deterministic ``results/fleet_boot.json``
+  with p50/p95/p99 time-to-steady-state and per-rank amortization
+  curves), or validate and pretty-print a saved report (``report``).
 * ``lint [PATHS...] [--strict] [--json] [--rules IDS] [--no-style]``
   — run reprolint, the project-invariant static analyzer (determinism,
   lock discipline, fault-point coverage, taxonomy conformance, plus the
@@ -269,32 +279,130 @@ def _program_source(name_or_path: str) -> str:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    import time as _time
+    import signal
+    import threading
 
     from repro.cacheserver import CacheServer
     if args.socket and args.port:
         raise SystemExit("choose one of --socket and --port")
     server = CacheServer(args.cache_dir, socket_path=args.socket,
-                         host=args.host, port=args.port)
+                         host=args.host, port=args.port,
+                         max_conns=args.max_conns)
     address = server.start()
     print(f"serving translation cache {args.cache_dir} on {address}",
           flush=True)
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        log.info("received signal %d; draining", signum)
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - not main
+            pass                       # thread (e.g. embedded): no
+            #                            signal-driven drain available
     try:
-        if args.max_seconds is not None:
-            _time.sleep(args.max_seconds)
-        else:   # pragma: no cover - interactive path
-            while True:
-                _time.sleep(3600)
-    except KeyboardInterrupt:   # pragma: no cover - interactive path
+        stop.wait(args.max_seconds)
+    except KeyboardInterrupt:   # pragma: no cover - handler not bound
         pass
     finally:
-        server.stop()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        clean = server.drain(grace=args.drain_grace)
         stats = server.stats.to_dict()
         print(f"served {sum(stats['requests'].values())} request(s) "
-              f"over {stats['connections']} connection(s); "
+              f"over {stats['connections']} connection(s) "
+              f"({stats['conns_rejected']} rejected); "
               f"{stats['records_served']} record(s) served, "
               f"{stats['records_received']} received "
-              f"({stats['objects_deduped']} deduped)")
+              f"({stats['objects_deduped']} deduped); drain "
+              f"{'clean' if clean else 'cut idle connection(s)'}")
+        for op, entry in sorted(stats["latency"].items()):
+            print(f"  {op:<9s} n={entry['count']:<5d} "
+                  f"p50={entry['p50']:.3f}ms "
+                  f"p95={entry['p95']:.3f}ms "
+                  f"p99={entry['p99']:.3f}ms")
+    return 0
+
+
+def _csv_list(text, cast=str):
+    return [cast(item) for item in str(text).split(",") if item]
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import (FleetReport, FleetScenario, expand_grid,
+                             export_fleet_trace, run_sweep,
+                             serialize_report, validate_report)
+
+    if args.action == "report":
+        if not args.input:
+            raise SystemExit("fleet report requires a report JSON file")
+        with open(args.input) as handle:
+            doc = json.load(handle)
+        print(FleetReport(doc).format())
+        problems = validate_report(doc)
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    fixed = dict(config=args.config, warm=args.warm,
+                 workload=args.workload,
+                 faults=tuple(_csv_list(args.faults))
+                 if args.faults else (),
+                 seed=args.seed, workers=args.workers, pool=args.pool,
+                 hot_threshold=args.hot_threshold,
+                 max_instructions=args.max_instructions)
+    try:
+        if args.action == "run":
+            scenarios = [FleetScenario(
+                n=int(args.n) if args.n else 8,
+                boot_policy=args.boot_policy or "all_at_once",
+                image_policy=args.image_policy or "one", **fixed)]
+        else:   # sweep
+            axes = {
+                "n": _csv_list(args.n, int) if args.n else [8, 64],
+                "boot_policy": _csv_list(args.boot_policy)
+                if args.boot_policy
+                else ["all_at_once", "one_then_others"],
+                "image_policy": _csv_list(args.image_policy)
+                if args.image_policy else ["one", "one_per_vm"],
+            }
+            scenarios = expand_grid(axes, **fixed)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    def progress(result):
+        print(f"booted {result.scenario.label()}: "
+              f"arch_ok={result.arch_ok}", flush=True)
+
+    results = run_sweep(scenarios, progress=progress)
+    report = FleetReport.from_results(results)
+    print()
+    print(report.format())
+
+    out = args.out
+    if out is None and args.action == "sweep":
+        out = "results/fleet_boot.json"
+    if out:
+        from pathlib import Path
+        Path(out).parent.mkdir(parents=True, exist_ok=True)
+        Path(out).write_text(serialize_report(report.to_dict()))
+        print(f"\nfleet report written to {out}")
+    if args.trace_out:
+        from repro.obs.export import dump_trace
+        dump_trace(export_fleet_trace(results[0]), args.trace_out)
+        print(f"fleet trace written to {args.trace_out} "
+              f"(load at https://ui.perfetto.dev)")
+
+    problems = validate_report(report.to_dict())
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if problems or not all(r.arch_ok for r in results):
+        return 1
     return 0
 
 
@@ -493,8 +601,62 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: .repro-cache)")
     serve.add_argument("--max-seconds", type=float, default=None,
                        help="exit after this many seconds "
-                            "(smoke tests; default: run until ^C)")
+                            "(smoke tests; default: run until "
+                            "SIGTERM/SIGINT)")
+    serve.add_argument("--max-conns", type=int, default=None,
+                       help="reject connections beyond this many "
+                            "concurrent clients with a retryable "
+                            "'busy' error (default: unlimited)")
+    serve.add_argument("--drain-grace", type=float, default=5.0,
+                       help="seconds to let in-flight requests finish "
+                            "during shutdown before idle connections "
+                            "are cut (default 5.0)")
     serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="mass-boot scenario harness: herds of VMs against one "
+             "shared cache server")
+    fleet.add_argument("action", choices=["run", "sweep", "report"],
+                       help="run: boot one fleet scenario; sweep: "
+                            "expand a parameter grid and boot every "
+                            "scenario; report: validate and print a "
+                            "saved fleet report JSON")
+    fleet.add_argument("input", nargs="?", default=None,
+                       help="report: the fleet report JSON file")
+    fleet.add_argument("--n", default=None,
+                       help="fleet size (run: one int, default 8; "
+                            "sweep: comma list, default 8,64)")
+    fleet.add_argument("--boot-policy", default=None,
+                       help="all_at_once | one_then_others (sweep: "
+                            "comma list; default both)")
+    fleet.add_argument("--image-policy", default=None,
+                       help="one | one_per_vm (sweep: comma list; "
+                            "default both)")
+    fleet.add_argument("--config", default="soft")
+    fleet.add_argument("--workload", default="fibonacci",
+                       help="seed workload every instance boots")
+    fleet.add_argument("--warm", action="store_true",
+                       help="pre-populate the server repository "
+                            "before the herd boots")
+    fleet.add_argument("--faults", default=None,
+                       help="comma list of fault classes to arm "
+                            "(serializes the pool for determinism)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--workers", type=int, default=8,
+                       help="worker-pool width (default 8)")
+    fleet.add_argument("--pool", choices=["thread", "process"],
+                       default="thread")
+    fleet.add_argument("--hot-threshold", type=int, default=20)
+    fleet.add_argument("--max-instructions", type=int,
+                       default=2_000_000)
+    fleet.add_argument("--out", default=None,
+                       help="write the report JSON here (sweep "
+                            "default: results/fleet_boot.json)")
+    fleet.add_argument("--trace-out", default=None,
+                       help="write the first fleet's merged Perfetto "
+                            "trace here")
+    fleet.set_defaults(func=cmd_fleet)
 
     cache = sub.add_parser(
         "cache",

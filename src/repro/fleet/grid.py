@@ -1,0 +1,164 @@
+"""Declarative parameter grids for fleet-boot scenarios.
+
+The two band0 mass-boot benchmarks define the axes this module makes
+first-class: xenrt's ``TCTimeVMStarts`` times a herd of clones of one
+gold image, and vm5k's ``VMBootTime`` sweeps boot policy
+(``all_at_once`` vs ``one_then_others``) and image policy (``one`` vs
+``one_per_vm``).  A :class:`FleetScenario` is one point in that space —
+everything the engine needs to boot N instances reproducibly — and
+:func:`expand_grid` turns an axis mapping into the deterministic list
+of scenarios a sweep runs.
+
+Axes:
+
+* ``n`` — fleet size (instances booted);
+* ``boot_policy`` — ``all_at_once`` (the whole herd boots against the
+  initial store state) or ``one_then_others`` (rank 0 boots alone and
+  publishes its translations before the rest of the herd starts);
+* ``image_policy`` — ``one`` (every instance boots the same gold
+  image, so translations are shared through the cache server) or
+  ``one_per_vm`` (each instance's image is uniquely perturbed with
+  unreachable padding, so fingerprints — and therefore cache entries —
+  never collide);
+* ``config`` — VM configuration (``soft``/``be``/``fe`` aliases or
+  full Table 2 names);
+* ``warm`` — whether the server's repository is pre-populated with the
+  workload's translations before the herd boots;
+* ``workload`` — a seed program name (:data:`repro.workloads.programs
+  .PROGRAMS`);
+* ``faults`` — an optional cocktail of registered fault-class names
+  (``tools/chaos.py`` classes); faulted scenarios serialize the pool
+  (``workers=1``) so injection stays seed-deterministic;
+* ``seed`` — the scenario seed (image perturbation, fault injectors).
+
+Scenario expansion order is fixed by :data:`AXIS_ORDER`, never by dict
+iteration order of the caller's mapping, so a sweep's report is
+byte-stable across runs and hosts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+BOOT_POLICIES = ("all_at_once", "one_then_others")
+IMAGE_POLICIES = ("one", "one_per_vm")
+POOLS = ("thread", "process")
+
+#: Canonical axis expansion order (outermost first).  `expand_grid`
+#: iterates the cartesian product in exactly this order regardless of
+#: how the caller's mapping is ordered.
+AXIS_ORDER = ("n", "boot_policy", "image_policy", "config", "warm",
+              "workload", "faults", "seed")
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One point in the fleet-boot design space."""
+
+    n: int = 8
+    boot_policy: str = "all_at_once"
+    image_policy: str = "one"
+    config: str = "soft"
+    warm: bool = False
+    workload: str = "fibonacci"
+    faults: Tuple[str, ...] = ()
+    seed: int = 0
+    # execution knobs (not grid axes; excluded from the canonical dict)
+    hot_threshold: int = 20
+    max_instructions: int = 2_000_000
+    workers: int = 8
+    pool: str = "thread"
+    timeout: float = 5.0
+    retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"fleet size must be >= 1, got {self.n}")
+        if self.boot_policy not in BOOT_POLICIES:
+            raise ValueError(
+                f"unknown boot policy {self.boot_policy!r}; "
+                f"choose from {BOOT_POLICIES}")
+        if self.image_policy not in IMAGE_POLICIES:
+            raise ValueError(
+                f"unknown image policy {self.image_policy!r}; "
+                f"choose from {IMAGE_POLICIES}")
+        if self.pool not in POOLS:
+            raise ValueError(f"unknown pool {self.pool!r}; "
+                             f"choose from {POOLS}")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def effective_workers(self) -> int:
+        """Pool width actually used: faulted scenarios serialize so the
+        per-rank seeded injectors replay deterministically (the fault
+        plane is process-global)."""
+        if self.faults:
+            return 1
+        return max(1, min(self.workers, self.n))
+
+    def label(self) -> str:
+        parts = [f"n={self.n}", self.boot_policy, self.image_policy,
+                 self.config, "warm" if self.warm else "cold",
+                 self.workload, f"seed={self.seed}"]
+        if self.faults:
+            parts.append("faults=" + "+".join(self.faults))
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict:
+        """Canonical axis dict (what the fleet report embeds)."""
+        return {
+            "n": self.n,
+            "boot_policy": self.boot_policy,
+            "image_policy": self.image_policy,
+            "config": self.config,
+            "warm": self.warm,
+            "workload": self.workload,
+            "faults": list(self.faults),
+            "seed": self.seed,
+        }
+
+
+_SCENARIO_FIELDS = {f.name for f in fields(FleetScenario)}
+
+
+def expand_grid(axes: Mapping[str, Sequence],
+                **fixed) -> List[FleetScenario]:
+    """Cartesian product of ``axes`` in :data:`AXIS_ORDER`.
+
+    ``axes`` maps axis names to value sequences; axes not given take
+    the :class:`FleetScenario` default.  ``fixed`` keyword values apply
+    to every scenario (execution knobs like ``workers`` or
+    ``max_instructions``).  Unknown names raise so a typo'd sweep axis
+    cannot silently collapse into a single default scenario.
+    """
+    for name in axes:
+        if name not in AXIS_ORDER:
+            raise ValueError(
+                f"unknown grid axis {name!r}; axes are {AXIS_ORDER}")
+    for name in fixed:
+        if name not in _SCENARIO_FIELDS:
+            raise ValueError(f"unknown scenario field {name!r}")
+    ordered = [name for name in AXIS_ORDER if name in axes]
+    value_lists = [list(axes[name]) for name in ordered]
+    for name, values in zip(ordered, value_lists):
+        if not values:
+            raise ValueError(f"grid axis {name!r} has no values")
+    scenarios = []
+    for combo in itertools.product(*value_lists):
+        params = dict(zip(ordered, combo))
+        params.update(fixed)
+        scenarios.append(FleetScenario(**params))
+    return scenarios
+
+
+#: The acceptance sweep: both boot policies x both image policies at
+#: two herd sizes (``repro fleet sweep`` defaults; the
+#: ``bench_fleet_boot`` benchmark runs the same grid).
+DEFAULT_GRID: Dict[str, Sequence] = {
+    "n": (8, 64),
+    "boot_policy": BOOT_POLICIES,
+    "image_policy": IMAGE_POLICIES,
+}

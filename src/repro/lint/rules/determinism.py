@@ -11,8 +11,12 @@ Wall-clock-legitimate sites are allowlisted by module: the writer lease
 (``persist/lease.py``) *is* a wall-clock protocol (TTLs, steal
 deadlines), the remote client (``persist/remote.py``) takes real socket
 deadlines and an injectable ``clock``/``sleep`` pair whose defaults are
-the real ones, and the CLI's ``serve`` loop sleeps for real.  Anything
-else needs an inline justification.
+the real ones, the CLI's ``serve`` loop sleeps for real, the cache
+server (``cacheserver/server.py``) times request handling for its
+latency histograms, and the fleet engine (``fleet/engine.py``) stamps
+herd wall-time into its non-canonical ops section (every canonical
+fleet measurement stays on the simulated-cycle clock).  Anything else
+needs an inline justification.
 """
 
 from __future__ import annotations
@@ -29,6 +33,10 @@ WALL_CLOCK_ALLOWED = {
     "persist.lease",        # lease TTL / expiry / steal deadlines
     "persist.remote",       # socket deadlines; injectable clock+sleep
     "cli",                  # interactive `repro serve` sleep loop
+    "cacheserver.server",   # per-op latency histograms (wall-clock by
+                            # nature; excluded from canonical reports)
+    "fleet.engine",         # herd wall-time in the non-canonical ops
+                            # section; all measurements are sim-cycle
 }
 
 _WALL_CLOCK_FUNCS = {

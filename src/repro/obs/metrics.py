@@ -27,6 +27,7 @@ object per increment.
 from __future__ import annotations
 
 import logging
+import math
 from typing import Dict, Iterator, Optional, Tuple
 
 log = logging.getLogger("repro.obs")
@@ -123,6 +124,26 @@ class Histogram(Series):
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Deterministic q-th percentile estimate from the pow2 buckets.
+
+        Walks the cumulative bucket counts and returns the upper bound
+        of the bucket containing the q-th observation, clamped to the
+        recorded ``max`` (so p99 never overshoots the data) and floored
+        at the recorded ``min``.  Monotone in ``q`` by construction —
+        the fleet report's p50 <= p95 <= p99 invariant rests on this.
+        Returns ``None`` for an empty histogram.
+        """
+        if not self.count:
+            return None
+        target = max(1, math.ceil(self.count * q / 100.0))
+        seen = 0
+        for bound in sorted(self.buckets):
+            seen += self.buckets[bound]
+            if seen >= target:
+                return float(min(max(bound, self.min), self.max))
+        return float(self.max)      # pragma: no cover - bucket invariant
 
     def snapshot(self) -> Dict:
         return {"count": self.count, "total": self.total,

@@ -76,6 +76,10 @@ EVENT_TYPES: Dict[str, str] = {
     "run.begin": "i",
     "run.end": "i",
     "recorder.dump": "i",
+    # fleet harness (repro.fleet): per-instance boot slices on the
+    # fleet summary track plus steady-state markers
+    "fleet.boot": "X",
+    "fleet.steady": "i",
 }
 
 #: Perfetto track (tid) per event family — keeps the viewer lanes tidy.
@@ -91,6 +95,7 @@ _TRACKS = {
     "block": 7,
     "remote": 8,
     "server": 9,
+    "fleet": 10,
 }
 _DEFAULT_TRACK = 0
 

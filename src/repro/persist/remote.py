@@ -197,6 +197,11 @@ class RemoteRepository:
         #: flight-recorder dump taken at the last fallback (needs a
         #: bound tracer); forensic context for "why did we go local?"
         self.last_flight: Optional[Dict] = None
+        #: the server's response to the most recent successful push
+        #: (``written``/``deduped``/``rejected``); None before any push
+        #: or when the last push degraded to the local repository.  The
+        #: fleet engine reads dedup-amortization curves from this.
+        self.last_push: Optional[Dict] = None
 
     def bind_tracer(self, tracer) -> None:
         """Attach an event tracer (``CoDesignedVM`` does this for the
@@ -268,6 +273,10 @@ class RemoteRepository:
         category = response.get("error")
         detail = response.get("detail", "")
         if category in protocol.RETRYABLE_ERRORS:
+            if category == "busy":
+                # admission rejections also drop the connection
+                # server-side; reconnect on the retry
+                self.close()
             raise _LeaseBusy(f"{category}: {detail}")
         raise RemoteError(f"server refused {op}: {category}: {detail}")
 
@@ -372,6 +381,7 @@ class RemoteRepository:
         try:
             response = self._request("push", payload)
         except Exception as error:  # noqa: BLE001 - degrade, never raise
+            self.last_push = None
             self._fall_back("push", error)
             if self.local is None:
                 return 0
@@ -379,6 +389,11 @@ class RemoteRepository:
                                    config_name=config_name)
         written = response.get("written")
         written = written if isinstance(written, int) else 0
+        self.last_push = {
+            "written": written,
+            "deduped": response.get("deduped", 0),
+            "rejected": response.get("rejected", 0),
+        }
         self.remote_stats.records_pushed += len(payload["records"])
         return written
 

@@ -54,6 +54,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -147,8 +148,15 @@ class TranslationRepository:
         Returns False (and counts the failure) instead of raising, so a
         full disk or a flaky device degrades to a smaller/staler store,
         never a crashed VM or a torn document.
+
+        The journal name is unique per process+thread: concurrent
+        loaders all LRU-touch ``meta.json`` (the cache server's handler
+        threads do this for parallel pulls), and a shared ``.tmp`` name
+        would make one writer's rename eat another's journal file.
+        Last rename wins; fsck still collects any stray ``*.tmp``.
         """
-        tmp = path.with_name(path.name + ".tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp")
         try:
             fault_point("repo.write", path=str(path))
             with open(tmp, "w") as handle:

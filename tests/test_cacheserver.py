@@ -7,6 +7,8 @@ connections) only exist on real transports.
 """
 
 import socket
+import threading
+import time
 
 import pytest
 
@@ -296,6 +298,230 @@ class TestServerOps:
             sock.close()
         assert server.stats.to_dict()["requests"]["ping"] == 5
         assert server.stats.to_dict()["connections"] == 1
+
+
+class TestManyClients:
+    """Herd-scale contention: >=16 simultaneous clients, one server.
+
+    These are the fleet scenario's server-side invariants in
+    isolation: content-addressed dedup must hold under concurrent
+    pushes, admission backpressure must surface as the retryable
+    ``busy`` category, and a drain must finish in-flight work before
+    closing.
+    """
+
+    CLIENTS = 16
+
+    def _run_clients(self, body, count=None):
+        """Run ``body(idx)`` on ``count`` threads released together."""
+        count = count or self.CLIENTS
+        errors = []
+        barrier = threading.Barrier(count)
+
+        def runner(idx):
+            try:
+                barrier.wait(timeout=10.0)
+                body(idx)
+            except Exception as error:   # noqa: BLE001 - reported below
+                errors.append((idx, repr(error)))
+
+        threads = [threading.Thread(target=runner, args=(idx,))
+                   for idx in range(count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(t.is_alive() for t in threads)
+        assert errors == []
+
+    def test_sixteen_clients_pull_and_push(self, server):
+        """Every client pulls complete and dedups against the store."""
+        records, config_fp, image_fp, _vm = cold_records()
+        raw_call(server, {"op": "push", "records": records,
+                          "config_fp": config_fp, "image_fp": image_fp})
+        results = [None] * self.CLIENTS
+
+        def client(idx):
+            remote = RemoteRepository(server.address, retries=6,
+                                      sleep=lambda _s: None)
+            pulled = remote.load(config_fp, image_fp)
+            written = remote.save(records, config_fp, f"img-{idx}",
+                                  config_name=f"c{idx}")
+            results[idx] = (len(pulled), written,
+                            remote.remote_stats.fallbacks)
+            remote.close()
+
+        self._run_clients(client)
+        # every client pulled the full record set and, because objects
+        # are content-addressed, wrote zero new objects for its own
+        # image; nobody degraded to cold
+        assert results == [(len(records), 0, 0)] * self.CLIENTS
+        assert server.repository.stats().objects == len(records)
+        check = server.repository.fsck(repair=False)
+        assert check.ok, check.format()
+        for idx in range(self.CLIENTS):
+            loaded = server.repository.load(config_fp, f"img-{idx}")
+            assert {r["key"] for r in loaded} == \
+                {r["key"] for r in records}
+        requests = server.stats.to_dict()["requests"]
+        assert requests["pull"] == self.CLIENTS
+        assert requests["push"] == self.CLIENTS + 1
+
+    def test_concurrent_shared_image_push_writes_each_object_once(
+            self, tmp_path):
+        """16 racing pushes of one manifest store each object once."""
+        with CacheServer(tmp_path / "served",
+                         lease_timeout=10.0) as server:
+            records, config_fp, _image_fp, _vm = cold_records()
+            written = [None] * self.CLIENTS
+
+            def client(idx):
+                remote = RemoteRepository(server.address, retries=6,
+                                          sleep=lambda _s: None)
+                written[idx] = remote.save(records, config_fp,
+                                           "img-shared")
+                assert remote.remote_stats.fallbacks == 0
+                remote.close()
+
+            self._run_clients(client)
+            assert sum(written) == len(records)
+            repo = server.repository
+            assert repo.stats().objects == len(records)
+            assert len(repo.load(config_fp, "img-shared")) == \
+                len(records)
+            check = repo.fsck(repair=False)
+            assert check.ok, check.format()
+
+    def test_max_conns_rejects_with_retryable_busy(self, tmp_path):
+        with CacheServer(tmp_path / "limited", max_conns=2) as server:
+            holders = [socket.create_connection(
+                (server.host, server.port), timeout=5.0)
+                for _ in range(2)]
+            try:
+                for holder in holders:
+                    assert raw_call(server, {"op": "ping"},
+                                    sock=holder)["ok"] is True
+                # both slots held: the next connection is answered
+                # with an unsolicited busy frame and dropped
+                extra = socket.create_connection(
+                    (server.host, server.port), timeout=5.0)
+                try:
+                    response = protocol.recv_message(extra)
+                finally:
+                    extra.close()
+                assert response["ok"] is False
+                assert response["error"] == "busy"
+                assert response["error"] in protocol.RETRYABLE_ERRORS
+                assert server.stats.to_dict()["conns_rejected"] >= 1
+            finally:
+                for holder in holders:
+                    holder.close()
+
+    def test_busy_retry_recovers_once_a_slot_frees(self, tmp_path):
+        with CacheServer(tmp_path / "limited", max_conns=1) as server:
+            holder = socket.create_connection(
+                (server.host, server.port), timeout=5.0)
+            assert raw_call(server, {"op": "ping"},
+                            sock=holder)["ok"] is True
+
+            def free_slot(_seconds):
+                # first backoff: free the held slot, then wait for the
+                # server to release it before the retry reconnects
+                holder.close()
+                deadline = time.monotonic() + 5.0
+                while server.active_connections > 0 \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+
+            client = RemoteRepository(server.address, retries=3,
+                                      sleep=free_slot)
+            assert client.ping() is True
+            # the rejection was counted and retried, not fatal
+            assert client.remote_stats.lease_busy >= 1
+            assert client.remote_stats.retries >= 1
+            assert server.stats.to_dict()["conns_rejected"] >= 1
+            client.close()
+
+    def test_drain_finishes_inflight_push(self, tmp_path):
+        server = CacheServer(tmp_path / "inflight")
+        server.start()
+        records, config_fp, image_fp, _vm = cold_records()
+        real_save = server.repository.save
+        entered = threading.Event()
+
+        def slow_save(*args, **kwargs):
+            entered.set()
+            time.sleep(0.3)         # hold the push in flight
+            return real_save(*args, **kwargs)
+
+        server.repository.save = slow_save
+        result = {}
+
+        def pusher():
+            client = RemoteRepository(server.address, retries=0)
+            result["written"] = client.save(records, config_fp,
+                                            image_fp)
+            result["fallbacks"] = client.remote_stats.fallbacks
+            client.close()
+
+        thread = threading.Thread(target=pusher)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        clean = server.drain(grace=5.0)
+        thread.join(timeout=10.0)
+        assert clean is True
+        assert result == {"written": len(records), "fallbacks": 0}
+        server.repository.save = real_save
+        assert server.repository.stats().objects == len(records)
+
+    def test_drain_cuts_idle_connection_and_stops(self, tmp_path):
+        server = CacheServer(tmp_path / "drained")
+        server.start()
+        # a connection that never sends a frame: its handler sits in
+        # recv() and only the drain's post-grace cut can wake it (a
+        # connection that just finished a response would instead close
+        # gracefully at the frame boundary and count as clean)
+        idle = socket.create_connection((server.host, server.port),
+                                        timeout=5.0)
+        try:
+            deadline = time.monotonic() + 5.0
+            while server.active_connections < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.active_connections == 1
+            assert server.drain(grace=0.2) is False
+            try:
+                assert idle.recv(1) == b""      # cut by the server
+            except OSError:
+                pass
+        finally:
+            idle.close()
+        with pytest.raises(OSError):
+            socket.create_connection((server.host, server.port),
+                                     timeout=0.5)
+
+    def test_drain_clean_after_clients_closed(self, tmp_path):
+        server = CacheServer(tmp_path / "drained2")
+        server.start()
+        assert raw_call(server, {"op": "ping"})["ok"] is True
+        deadline = time.monotonic() + 5.0
+        while server.active_connections and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.drain(grace=1.0) is True
+        assert server.drain(grace=1.0) is True      # idempotent
+
+    def test_per_op_latency_histograms_in_stats(self, server):
+        records, config_fp, image_fp, _vm = cold_records()
+        for _ in range(3):
+            assert raw_call(server, {"op": "ping"})["ok"] is True
+        raw_call(server, {"op": "push", "records": records,
+                          "config_fp": config_fp, "image_fp": image_fp})
+        latency = raw_call(server, {"op": "stats"})["server"]["latency"]
+        for op, count in (("ping", 3), ("push", 1)):
+            entry = latency[op]
+            assert entry["count"] == count
+            assert entry["min"] <= entry["mean"] <= entry["max"]
+            assert entry["p50"] <= entry["p95"] <= entry["p99"]
 
 
 class TestEndToEnd:

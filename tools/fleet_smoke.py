@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Fleet-boot smoke gate (the ``make fleet-smoke`` target).
+
+Executable claims from ``docs/fleet.md``, on a grid small enough for
+CI but wide enough to cross every policy axis:
+
+1. **The herd boots and stays architecturally honest**: every
+   instance of every scenario matches the fault-free local baseline
+   (the paper's "no server behaviour may change architected results"
+   invariant, herd-sized).
+2. **Reports validate**: the sweep's report passes
+   :func:`repro.fleet.validate_report` — schema, monotone
+   percentiles, complete rank 0..n-1 amortization curves.
+3. **The shared cache amortizes**: in the staged shared-image
+   scenario (``one_then_others`` x ``one``), later boot ranks reach
+   steady state strictly cheaper than rank 0, and their pushes dedup
+   to zero new objects.
+4. **Runs replay byte-for-byte**: serializing the report of the same
+   scenario twice yields identical bytes (the determinism contract
+   the whole results/ directory hangs off).
+
+Run directly (``python tools/fleet_smoke.py``) or via
+``make fleet-smoke`` / ``make verify``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.fleet import (                                # noqa: E402
+    FleetEngine,
+    FleetScenario,
+    amortization_gain,
+    build_report,
+    expand_grid,
+    run_sweep,
+    serialize_report,
+    validate_report,
+)
+
+GRID = {
+    "n": (4,),
+    "boot_policy": ("all_at_once", "one_then_others"),
+    "image_policy": ("one", "one_per_vm"),
+}
+
+
+def fail(message: str) -> int:
+    print(f"FLEET SMOKE FAIL: {message}")
+    return 1
+
+
+def main() -> int:
+    scenarios = expand_grid(GRID, workers=4)
+    results = run_sweep(scenarios)
+    report = build_report(results)
+
+    for result in results:
+        label = result.scenario.label()
+        if not result.arch_ok:
+            problems = [p for i in result.instances for p in i.problems]
+            return fail(f"architected divergence in {label}: {problems}")
+        print(f"booted {label}: arch_ok")
+
+    problems = validate_report(report)
+    if problems:
+        return fail(f"report invalid: {problems}")
+
+    for entry in report["fleets"]:
+        scenario = entry["scenario"]
+        gain = amortization_gain(entry)
+        staged_shared = (scenario["boot_policy"] == "one_then_others"
+                         and scenario["image_policy"] == "one")
+        if staged_shared:
+            if not gain or gain <= 1.0:
+                return fail(f"no amortization in {entry['label']}: "
+                            f"gain={gain}")
+            curve = entry["amortization"]
+            if any(point["push_written"] for point in curve[1:]):
+                return fail(f"later ranks wrote new objects in "
+                            f"{entry['label']}")
+            print(f"amortization gain {gain:.2f}x in {entry['label']}")
+
+    scenario = FleetScenario(n=3, boot_policy="one_then_others",
+                             workers=3, seed=5)
+    first = serialize_report(build_report([FleetEngine().run(scenario)]))
+    second = serialize_report(build_report([FleetEngine().run(scenario)]))
+    if first != second:
+        return fail("same-seed reports are not byte-identical")
+    print("same-seed fleet reports byte-identical")
+
+    print(f"fleet smoke OK: {len(results)} scenario(s), "
+          f"{sum(len(r.instances) for r in results)} instance boot(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
