@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke examples figures clean
+.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,7 +39,7 @@ lint-strict:
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke
+verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -77,6 +77,14 @@ serve-smoke:
 # byte-identical same-seed reports (docs/fleet.md).
 fleet-smoke:
 	$(PYTHON) tools/fleet_smoke.py
+
+# Cluster gate: a real 3x2 shard grid of serve subprocesses — push a
+# workload, kill -9 the primary of a record-owning group mid-herd,
+# push another workload while it is down, then restart it and prove
+# anti-entropy re-replicates exactly its missed share; every boot must
+# byte-match its cold baseline throughout (docs/cluster.md).
+cluster-smoke:
+	$(PYTHON) tools/cluster_smoke.py
 
 # Run every example script end to end.
 examples:

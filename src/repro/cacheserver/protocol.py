@@ -19,13 +19,22 @@ client's retry policy keys on them): ``lease-busy`` is retryable,
 Operations (see ``docs/cache_server.md`` for the full matrix):
 
 * ``ping`` — liveness probe; echoes the server's repository root.
+* ``health`` — structured liveness: shard id, role, object count,
+  writer-lease state and drain status.  Smoke tools and the cluster
+  client's health view key on this instead of ad-hoc pings.
 * ``pull`` — fetch the records for one (config, image) fingerprint
   pair, plus the manifest entry count so the client can report
   missing objects exactly like a local load.
 * ``push`` — upload records; the server saves them under its writer
   lease and reports how many objects were newly written vs deduped
   against content-addressed objects other workloads already stored.
-* ``manifest`` — entry count only (cheap existence probe).
+  An optional ``"merge": true`` flag unions the pushed keys with the
+  manifest's existing entries (sorted, so concurrent writers converge
+  on one entry list) instead of replacing the manifest wholesale —
+  the cluster tier's replication and anti-entropy push this way.
+* ``manifest`` — entry count only (cheap existence probe); with
+  ``"keys": true`` the full sorted entry list rides along (the
+  anti-entropy repair pass diffs replicas on it).
 * ``stats`` — repository stats plus the server's request counters.
 
 This module is socket-free on purpose: everything here is pure

@@ -222,11 +222,17 @@ class CacheServer:
                  host: str = "127.0.0.1", port: int = 0,
                  tracer=None, lease_timeout: float = 5.0,
                  connection_timeout: float = 30.0,
-                 max_conns: Optional[int] = None) -> None:
+                 max_conns: Optional[int] = None,
+                 shard_id: str = "", role: str = "primary") -> None:
         if isinstance(repository, TranslationRepository):
             self.repository = repository
         else:
             self.repository = TranslationRepository(repository)
+        #: cluster identity (``repro.cluster``): which shard group this
+        #: server holds and its role within the group's replica set.
+        #: Standalone servers keep the empty shard id.
+        self.shard_id = shard_id
+        self.role = role
         self.socket_path = str(socket_path) if socket_path else None
         self.host = host
         self.port = port
@@ -317,6 +323,26 @@ class CacheServer:
             except OSError:
                 pass
         self._trace("server.stop", address=self.address)
+
+    def kill(self) -> None:
+        """Hard-stop: close the listener *and* sever every established
+        connection — the in-process model of ``kill -9``.  A plain
+        :meth:`stop` leaves persistent connections draining in their
+        handler threads, which is graceful-restart behaviour; a crashed
+        process answers nothing, so cluster failure drills
+        (``LocalCluster.stop_replica``) use this."""
+        self.stop()
+        with self._conn_lock:
+            socks = list(self._conn_socks)
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -- connection admission / graceful drain ------------------------------
 
@@ -435,12 +461,38 @@ class CacheServer:
     def _op_ping(self, request: Dict) -> Dict:
         return protocol.ok(root=str(self.repository.root))
 
+    def _op_health(self, request: Dict) -> Dict:
+        """Structured liveness: shard identity + store + lease state.
+
+        Smoke tools and the cluster client's per-endpoint health view
+        poll this instead of ad-hoc pings — one frame answers "who are
+        you, how much do you hold, can you take writes right now".
+        """
+        lease = self.repository.writer_lease()
+        body = lease._read()
+        held = body is not None
+        return protocol.ok(
+            shard_id=self.shard_id,
+            role=self.role,
+            address=self.address,
+            objects=len(self.repository._load_meta()["objects"]),
+            draining=self.draining,
+            lease={"held": held,
+                   "holder": body.get("holder") if held else None,
+                   "expired": lease._expired() if held else False})
+
     def _op_manifest(self, request: Dict) -> Dict:
         pair = self._fingerprints(request)
         if pair is None:
             return protocol.error("bad-request", "missing fingerprints")
-        return protocol.ok(
+        response = protocol.ok(
             entries=self.repository.manifest_entry_count(*pair))
+        if request.get("keys"):
+            manifest = self.repository._read_manifest(*pair)
+            entries = manifest.get("entries", []) if manifest else []
+            response["keys"] = sorted(key for key in entries
+                                      if isinstance(key, str))
+        return response
 
     def _op_pull(self, request: Dict) -> Dict:
         pair = self._fingerprints(request)
@@ -472,11 +524,29 @@ class CacheServer:
         config_name = request.get("config_name")
         if not isinstance(config_name, str):
             config_name = ""
+        if request.get("repair"):
+            # anti-entropy heal: a pushed key whose on-disk object
+            # exists but no longer validates must be rewritten — the
+            # normal save would skip it as an already-stored dedup
+            for record in valid:
+                key = record["key"]
+                path = self.repository._object_path(key)
+                try:
+                    damaged = path.exists() and \
+                        self.repository._read_object(key) is None
+                except OSError:
+                    damaged = False
+                if damaged:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
         with self._push_lock:
             failures_before = self.repository.lease_failures
             written = self.repository.save(
                 valid, *pair, config_name=config_name,
-                lease_timeout=self.lease_timeout)
+                lease_timeout=self.lease_timeout,
+                merge=bool(request.get("merge")))
             lease_failed = \
                 self.repository.lease_failures > failures_before
         if lease_failed:

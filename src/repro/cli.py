@@ -37,15 +37,25 @@ Commands:
   translations, ``pull`` warm-starts from the server.  Any server
   failure degrades to the local ``--cache-dir`` repository and
   ultimately to cold translation (see ``docs/cache_server.md``).
-* ``serve [--socket PATH | --port N] [--cache-dir DIR] [--max-conns N]``
-  — run the shared translation-cache server over one repository until
-  SIGTERM/SIGINT, then drain gracefully (finish in-flight requests,
-  release the writer lease, print per-op latency percentiles);
-  ``--max-conns`` rejects excess clients with a retryable ``busy``
-  error.
+* ``serve [--socket PATH | --port N] [--cache-dir DIR] [--max-conns N]
+  [--shard-id NAME --role {primary,replica}]`` — run the shared
+  translation-cache server over one repository until SIGTERM/SIGINT,
+  then drain gracefully (finish in-flight requests, release the writer
+  lease, print per-op latency percentiles); ``--max-conns`` rejects
+  excess clients with a retryable ``busy`` error; ``--shard-id`` /
+  ``--role`` tag the server's wire ``health`` answer for cluster
+  membership.
+* ``cluster {health,repair} --cluster SPEC`` — the sharded/replicated
+  cluster tier (:mod:`repro.cluster`, ``docs/cluster.md``): ``health``
+  prints every replica's liveness/breaker/lease state via the wire
+  ``health`` op, ``repair`` runs one anti-entropy pass (diff replica
+  manifests, re-replicate missing records).  ``SPEC`` is
+  ``shard0=h:p,h:p;shard1=...`` or ``@spec.json``.
 * ``fleet {run,sweep,report}`` — the mass-boot scenario harness
   (:mod:`repro.fleet`, ``docs/fleet.md``): boot N instances through a
-  worker pool against a self-hosted cache server (``run``), expand a
+  worker pool against a self-hosted cache server (``run``; with
+  ``--shards``/``--replicas`` > 1, against a self-hosted sharded
+  cluster), expand a
   {N, boot policy, image policy} grid and boot every scenario
   (``sweep``, emitting a deterministic ``results/fleet_boot.json``
   with p50/p95/p99 time-to-steady-state and per-rank amortization
@@ -287,7 +297,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("choose one of --socket and --port")
     server = CacheServer(args.cache_dir, socket_path=args.socket,
                          host=args.host, port=args.port,
-                         max_conns=args.max_conns)
+                         max_conns=args.max_conns,
+                         shard_id=args.shard_id, role=args.role)
     address = server.start()
     print(f"serving translation cache {args.cache_dir} on {address}",
           flush=True)
@@ -355,7 +366,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                  if args.faults else (),
                  seed=args.seed, workers=args.workers, pool=args.pool,
                  hot_threshold=args.hot_threshold,
-                 max_instructions=args.max_instructions)
+                 max_instructions=args.max_instructions,
+                 shards=args.shards, replicas=args.replicas)
     try:
         if args.action == "run":
             scenarios = [FleetScenario(
@@ -404,6 +416,70 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if problems or not all(r.arch_ok for r in results):
         return 1
     return 0
+
+
+def _cluster_spec(text: str):
+    """Parse a ``--cluster`` value: a spec string
+    (``shard0=host:port,host:port;shard1=...``) or ``@file.json``
+    holding a spec document."""
+    from repro.cluster import ClusterSpec
+    from repro.persist import parse_address
+    if text.startswith("@"):
+        with open(text[1:]) as handle:
+            spec = ClusterSpec.parse(json.load(handle))
+    else:
+        spec = ClusterSpec.parse(text)
+    for address in spec.addresses():
+        parse_address(address)      # unusable addresses fail here, as
+    return spec                     # a clean CLI error, not mid-request
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterRepository, anti_entropy
+    try:
+        spec = _cluster_spec(args.cluster)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bad --cluster spec: {error}")
+
+    if args.action == "repair":
+        report = anti_entropy(spec, timeout=args.timeout,
+                              retries=args.retries)
+        print(report.format())
+        return 0 if report.ok else 1
+
+    # health: per-group, per-endpoint breaker + server health answers
+    client = ClusterRepository(spec, timeout=args.timeout,
+                               retries=args.retries)
+    try:
+        view = client.health_view()
+    finally:
+        client.close()
+    failures = 0
+    for group in sorted(view):
+        live = sum(1 for entry in view[group] if entry["health"])
+        total = len(view[group])
+        status = "ok" if live else "DOWN"
+        print(f"{status:4s} {group}: {live}/{total} replica(s) live "
+              f"(write quorum {client.quorum_for(group)})")
+        for entry in view[group]:
+            health = entry["health"]
+            if health is None:
+                state = "unreachable"
+                if entry["breaker_open"]:
+                    state += ", breaker open"
+            else:
+                lease = health.get("lease") or {}
+                state = (f"{health.get('role', '?')}, "
+                         f"{health.get('objects', 0)} object(s)")
+                if health.get("draining"):
+                    state += ", draining"
+                if lease.get("held"):
+                    state += (", lease held"
+                              + (" (expired)" if lease.get("expired")
+                                 else ""))
+            print(f"       {entry['address']:<24s} {state}")
+        failures += not live
+    return 1 if failures else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -607,6 +683,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reject connections beyond this many "
                             "concurrent clients with a retryable "
                             "'busy' error (default: unlimited)")
+    serve.add_argument("--shard-id", default="",
+                       help="cluster shard group this server belongs "
+                            "to (reported by the health op)")
+    serve.add_argument("--role", default="primary",
+                       choices=["primary", "replica"],
+                       help="replica role within the shard group "
+                            "(reported by the health op)")
     serve.add_argument("--drain-grace", type=float, default=5.0,
                        help="seconds to let in-flight requests finish "
                             "during shutdown before idle connections "
@@ -643,6 +726,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma list of fault classes to arm "
                             "(serializes the pool for determinism)")
     fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--shards", type=int, default=1,
+                       help="cluster shard groups to host (default 1: "
+                            "the classic single cache server)")
+    fleet.add_argument("--replicas", type=int, default=1,
+                       help="replicas per shard group (default 1)")
     fleet.add_argument("--workers", type=int, default=8,
                        help="worker-pool width (default 8)")
     fleet.add_argument("--pool", choices=["thread", "process"],
@@ -657,6 +745,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the first fleet's merged Perfetto "
                             "trace here")
     fleet.set_defaults(func=cmd_fleet)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded translation-cache cluster: health and "
+             "anti-entropy repair")
+    cluster.add_argument("action", choices=["health", "repair"],
+                         help="health: per-replica liveness/breaker/"
+                              "lease view via the wire health op; "
+                              "repair: one anti-entropy pass (diff "
+                              "replica manifests, re-replicate the "
+                              "gaps)")
+    cluster.add_argument("--cluster", required=True,
+                         help="cluster spec: 'shard0=h:p,h:p;"
+                              "shard1=...' or @spec.json")
+    cluster.add_argument("--timeout", type=float, default=2.0,
+                         help="per-request timeout in seconds "
+                              "(default 2.0)")
+    cluster.add_argument("--retries", type=int, default=1,
+                         help="retry budget per request (default 1)")
+    cluster.set_defaults(func=cmd_cluster)
 
     cache = sub.add_parser(
         "cache",

@@ -1,0 +1,64 @@
+"""Consistent-hash ring: content keys -> shard groups.
+
+Each shard group owns ``vnodes`` points on a 32-bit ring; a content key
+routes to the group owning the first point at or after the key's own
+hash point (wrapping).  Virtual nodes smooth the key distribution so
+three groups each hold roughly a third of any object population, and
+consistent hashing keeps reshuffling minimal when the group set
+changes: adding one group moves only the keys landing in its new arcs.
+
+Everything is derived from SHA-1 of stable strings — no RNG, no wall
+clock — so the same topology always routes the same key to the same
+group on every host (the determinism contract the cluster's
+byte-stable reports and chaos replays rest on).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence
+
+DEFAULT_VNODES = 64
+
+
+def _point(token: str) -> int:
+    """Stable 32-bit ring position for one token."""
+    return int.from_bytes(
+        hashlib.sha1(token.encode()).digest()[:4], "big")
+
+
+class HashRing:
+    """Consistent-hash routing of content keys across shard groups."""
+
+    def __init__(self, groups: Sequence[str],
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if not groups:
+            raise ValueError("a hash ring needs at least one group")
+        if len(set(groups)) != len(groups):
+            raise ValueError(f"duplicate group names in {groups!r}")
+        self.groups = tuple(groups)
+        self.vnodes = max(1, vnodes)
+        points = []
+        for group in self.groups:
+            for vnode in range(self.vnodes):
+                points.append((_point(f"{group}#{vnode}"), group))
+        # ties (vanishingly rare) break by group name for determinism
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [group for _, group in points]
+
+    def group_for(self, key: str) -> str:
+        """The shard group owning one content key."""
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0           # wrap past the highest point
+        return self._owners[index]
+
+    def partition(self, keys: Sequence[str]) -> Dict[str, List[str]]:
+        """Split keys by owning group (groups with no keys omitted);
+        each group's list keeps the caller's key order."""
+        buckets: Dict[str, List[str]] = {}
+        for key in keys:
+            buckets.setdefault(self.group_for(key), []).append(key)
+        return buckets

@@ -35,8 +35,8 @@ from repro.faults.plane import fault_point, injecting
 #: CoDesignedVM runs, while the low-level fault *plane* is imported by
 #: the translators themselves — an eager import here would be circular.
 _HARNESS_SYMBOLS = ("ArchOutcome", "Baseline", "ChaosOutcome",
-                    "modes_for", "needs_remote", "prepare_baseline",
-                    "run_faulted", "run_matrix")
+                    "modes_for", "needs_cluster", "needs_remote",
+                    "prepare_baseline", "run_faulted", "run_matrix")
 
 
 def __getattr__(name):
@@ -58,6 +58,7 @@ __all__ = [
     "fault_point",
     "injecting",
     "make_fault",
+    "needs_cluster",
     "needs_remote",
     "modes_for",
     "prepare_baseline",

@@ -53,6 +53,10 @@ class FaultClass:
     #: whether this class strikes the shared-cache client path (its
     #: only surface is a warm start through a RemoteRepository)
     network: bool = False
+    #: whether this class strikes the cluster tier (shard routing,
+    #: replica sets); its full surface needs a warm start through a
+    #: ClusterRepository fronting a live LocalCluster
+    cluster: bool = False
     #: per-visit firing probability (deterministic via the seeded rng)
     rate: float = 0.25
     #: hard cap on firings per run (keeps chaos runs bounded)
@@ -413,6 +417,139 @@ class CorruptPayloadFault(FaultClass):
 
     def fire(self, rng, site: str, context: Dict):
         return True     # the client raises a ProtocolError on truthy
+
+
+# -- cluster faults ----------------------------------------------------------
+#
+# These strike the cluster tier (src/repro/cluster/): shard routing in
+# the ClusterRepository (``cluster.route``/``cluster.pull``) and the
+# per-replica attempt engine in RemoteRepository (``cluster.replica``).
+# Outage classes pick a sticky victim — the first shard group (or
+# replica) a rate-passing visit lands on stays down for the whole run,
+# modelling a crashed process rather than flickering packet loss — so
+# a seeded run replays the identical outage.
+
+@register
+class ShardDownFault(FaultClass):
+    """One whole shard group is unreachable (every replica down)."""
+
+    name = "shard-down"
+    sites = ("cluster.route",)
+    cluster = True
+    rate = 1.0
+    max_injections = 500
+
+    def __init__(self) -> None:
+        self._victim = None
+
+    def fire(self, rng, site: str, context: Dict):
+        group = context.get("group")
+        if group is None:
+            return None
+        if self._victim is None:
+            self._victim = group
+        if group != self._victim:
+            return None
+        raise ConnectionRefusedError(
+            errno.ECONNREFUSED,
+            f"injected shard outage: every replica of {group} is down")
+
+
+@register
+class SlowShardFault(FaultClass):
+    """One shard group stalls past the client's request deadline."""
+
+    name = "slow-shard"
+    sites = ("cluster.route",)
+    cluster = True
+    rate = 0.5
+    max_injections = 100
+
+    def __init__(self) -> None:
+        self._victim = None
+
+    def fire(self, rng, site: str, context: Dict):
+        group = context.get("group")
+        if group is None:
+            return None
+        if self._victim is None:
+            self._victim = group
+        if group != self._victim:
+            return None
+        raise socket.timeout(
+            f"injected shard stall routing "
+            f"{context.get('op', '?')} to {group}")
+
+
+@register
+class ReplicaPartitionFault(FaultClass):
+    """One replica is partitioned away; its siblings keep serving."""
+
+    name = "replica-partition"
+    sites = ("cluster.replica",)
+    cluster = True
+    rate = 1.0
+    max_injections = 500
+
+    def __init__(self) -> None:
+        self._victim = None
+
+    def fire(self, rng, site: str, context: Dict):
+        victim = (context.get("group"), context.get("replica"))
+        if victim[1] is None:
+            return None
+        if self._victim is None:
+            self._victim = victim
+        if victim != self._victim:
+            return None
+        return True     # the attempt engine raises a connection reset
+
+
+@register
+class StaleReplicaFault(FaultClass):
+    """A replica answers a pull from a stale manifest; the client
+    discards the reply and fails over to a sibling."""
+
+    name = "stale-replica"
+    sites = ("cluster.pull",)
+    cluster = True
+    rate = 0.4
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the cluster client treats truthy as stale
+
+
+@register
+class SplitManifestFault(FaultClass):
+    """A replica's manifests lag the cluster: drop a random subset of
+    entries, modelling pushes the replica missed while partitioned.
+    The store stays structurally valid — loads just see fewer warm
+    records — and anti-entropy re-replicates the gap."""
+
+    name = "split-manifest"
+    disk = True
+    cluster = True
+    rate = 1.0
+
+    def mangle(self, rng, root: Path) -> int:
+        applied = 0
+        for path in _files(root, "manifests"):
+            if applied >= self.max_injections:
+                break
+            try:
+                manifest = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue    # already mangled by another fault class
+            if not isinstance(manifest, dict):
+                continue
+            entries = manifest.get("entries", [])
+            if len(entries) < 2:
+                continue
+            keep = rng.randrange(1, len(entries))
+            manifest["entries"] = sorted(rng.sample(entries, keep))
+            path.write_text(json.dumps(manifest, indent=1))
+            applied += 1
+        return applied
 
 
 # -- policy faults -----------------------------------------------------------

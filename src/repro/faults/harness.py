@@ -95,6 +95,10 @@ class ChaosOutcome:
     #: remote runs warm-start through a live cache server + the
     #: fault-tolerant client, so the network fault classes have surface
     remote: bool = False
+    #: cluster runs warm-start through a live sharded/replicated
+    #: LocalCluster + the cluster client, so the cluster fault classes
+    #: (shard-down, replica-partition, ...) have surface
+    cluster: bool = False
     problems: List[str] = field(default_factory=list)
     injected: Dict[str, int] = field(default_factory=dict)
     disk_corruptions: int = 0
@@ -113,8 +117,9 @@ class ChaosOutcome:
         fired = ", ".join(f"{name} x{count}"
                           for name, count in sorted(self.injected.items())
                           if count) or "none fired"
-        mode = "remote" if self.remote else \
-            ("warm" if self.warm else "cold")
+        mode = "cluster" if self.cluster else \
+            ("remote" if self.remote else
+             ("warm" if self.warm else "cold"))
         line = (f"{status}  {self.workload:14s} seed={self.seed:<4d} "
                 f"{mode} [{'+'.join(self.faults)}] ({fired})")
         if self.problems:
@@ -140,9 +145,22 @@ def prepare_baseline(name: str, source: str, workdir: str,
                     repo_dir=repo_dir, records_saved=saved)
 
 
+def _manifest_pairs(repo_dir) -> List[tuple]:
+    """The (config_fp, image_fp) pairs a repository directory holds
+    (manifest files are named ``<config_fp>__<image_fp>.json``)."""
+    pairs = []
+    manifests = Path(repo_dir) / "manifests"
+    if manifests.is_dir():
+        for path in sorted(manifests.glob("*.json")):
+            config_fp, sep, image_fp = path.stem.partition("__")
+            if sep and config_fp and image_fp:
+                pairs.append((config_fp, image_fp))
+    return pairs
+
+
 def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
                 workdir: Optional[str] = None, warm: bool = True,
-                remote: bool = False,
+                remote: bool = False, cluster: bool = False,
                 **fault_overrides) -> ChaosOutcome:
     """One chaos run under an armed injector.
 
@@ -154,14 +172,20 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
     through the fault-tolerant :class:`RemoteRepository` client, so the
     network fault classes strike a real socket path — with the same
     copy as the client's local fallback, every degradation ends at
-    state the fault-free run could have produced.  In every mode the
-    architected outcome must match the fault-free baseline exactly.
+    state the fault-free run could have produced.  ``cluster=True``
+    (implies warm) primes a live sharded/replicated
+    :class:`~repro.cluster.manager.LocalCluster` from the mangled copy,
+    rots each replica store independently, and warm-starts through the
+    :class:`~repro.cluster.client.ClusterRepository` — the surface for
+    the cluster fault classes (shard-down, replica-partition,
+    stale-replica, ...).  In every mode the architected outcome must
+    match the fault-free baseline exactly.
     """
     injector = FaultInjector(seed, faults, **fault_overrides)
     cleanup = workdir is None
     workdir = workdir or tempfile.mkdtemp(prefix="repro-chaos-")
     disk_corruptions = 0
-    warm = warm or remote
+    warm = warm or remote or cluster
     if warm:
         repo_copy = Path(workdir) / f"faulted-{baseline.name}-{seed}"
         if repo_copy.exists():
@@ -171,7 +195,7 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
 
     outcome = ChaosOutcome(workload=baseline.name,
                            faults=list(faults), seed=seed, ok=False,
-                           warm=warm, remote=remote,
+                           warm=warm, remote=remote, cluster=cluster,
                            disk_corruptions=disk_corruptions)
     # chaos runs fly instrumented: the flight recorder turns any escape
     # or divergence into a replayable forensic trace (docs/observability)
@@ -179,8 +203,33 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
     vm = CoDesignedVM(config, hot_threshold=baseline.hot_threshold)
     vm.load(assemble(baseline.source))
     server = None
+    grid = None
     try:
-        if remote:
+        if cluster:
+            # a real shards x replicas grid on loopback, primed
+            # (fault-free) from the mangled copy, then each replica
+            # store rotted independently — the same copy backs the
+            # client's local fallback, so every rung of the
+            # degradation ladder lands on loadable records
+            from repro.cluster import ClusterRepository, LocalCluster
+            grid = LocalCluster(
+                Path(workdir) / f"cluster-{baseline.name}-{seed}")
+            spec = grid.start()
+            source_repo = TranslationRepository(repo_copy)
+            primer = ClusterRepository(spec, retries=1,
+                                       sleep=lambda _s: None)
+            for config_fp, image_fp in _manifest_pairs(repo_copy):
+                primer.save(source_repo.load(config_fp, image_fp),
+                            config_fp, image_fp)
+            primer.close()
+            for group, index in sorted(grid.servers):
+                disk_corruptions += injector.mangle_repository(
+                    grid.repo_dir(group, index))
+            outcome.disk_corruptions = disk_corruptions
+            repository = ClusterRepository(
+                spec, local=repo_copy, timeout=2.0, retries=2,
+                breaker_cooldown=0.0, sleep=lambda _s: None)
+        elif remote:
             # TCP on loopback: the server reads the *mangled* copy, the
             # client falls back to the same copy, so remote and local
             # degradation paths converge on identical loadable records
@@ -212,9 +261,11 @@ def run_faulted(baseline: Baseline, faults: Sequence[str], seed: int,
     finally:
         if server is not None:
             server.stop()
+        if grid is not None:
+            grid.stop()
         outcome.injected = dict(injector.injected)
         outcome.stats = vm.stats()
-        if remote:
+        if remote or cluster:
             outcome.stats["remote"] = repository.remote_stats.to_dict()
         if cleanup:
             shutil.rmtree(workdir, ignore_errors=True)
@@ -241,11 +292,12 @@ def modes_for(faults: Sequence[str]) -> List[bool]:
     for fault in faults:
         if not isinstance(fault, FaultClass):
             fault = make_fault(fault)
-        if fault.disk or fault.network or \
+        if fault.disk or fault.network or fault.cluster or \
                 any(site.startswith(("repo.", "loader."))
                     for site in fault.sites):
             warm = True
-        if any(not site.startswith(("repo.", "loader.", "net."))
+        if any(not site.startswith(("repo.", "loader.", "net.",
+                                    "cluster."))
                for site in fault.sites):
             cold = True
     modes = []
@@ -262,6 +314,16 @@ def needs_remote(faults: Sequence[str]) -> bool:
         if not isinstance(fault, FaultClass):
             fault = make_fault(fault)
         if fault.network:
+            return True
+    return False
+
+
+def needs_cluster(faults: Sequence[str]) -> bool:
+    """Whether a fault set only has surface through the cluster client."""
+    for fault in faults:
+        if not isinstance(fault, FaultClass):
+            fault = make_fault(fault)
+        if fault.cluster:
             return True
     return False
 

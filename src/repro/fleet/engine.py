@@ -127,14 +127,22 @@ def _boot_instance(spec: Dict) -> Dict:
     :class:`RemoteRepository` with **no** local fallback — degradation
     goes straight to cold translation), runs the workload, then
     captures its translations for the engine to publish later.  It
-    never pushes: see the module determinism contract.
+    never pushes: see the module determinism contract.  Cluster
+    scenarios hand a spec string in ``spec["cluster"]`` and boot
+    through the cluster-aware client instead.
     """
     config = resolve_config(spec["config"]).with_(trace=True)
     vm = CoDesignedVM(config, hot_threshold=spec["hot_threshold"])
     vm.load(assemble(spec["source"]))
-    remote = RemoteRepository(
-        spec["address"], local=None,
-        timeout=spec["timeout"], retries=spec["retries"])
+    if spec.get("cluster"):
+        from repro.cluster import ClusterRepository
+        remote = ClusterRepository(
+            spec["cluster"], local=None,
+            timeout=spec["timeout"], retries=spec["retries"])
+    else:
+        remote = RemoteRepository(
+            spec["address"], local=None,
+            timeout=spec["timeout"], retries=spec["retries"])
     injector = None
     if spec["faults"]:
         injector = FaultInjector(spec["instance_seed"], spec["faults"])
@@ -161,7 +169,8 @@ def _boot_instance(spec: Dict) -> Dict:
         "config_fp": config_fingerprint(vm.config),
         "image_fp": image_fingerprint(vm._image),
         "records_loaded": load_report.loaded,
-        "records_pulled": remote.remote_stats.records_pulled,
+        "records_pulled":
+            remote.remote_stats.to_dict().get("records_pulled", 0),
         "total_cycles": stats["total_cycles"],
         "blocks_translated": stats["blocks_translated"],
         "superblocks_translated": stats["superblocks_translated"],
@@ -244,6 +253,34 @@ class FleetResult:
         if not canonical:
             doc["ops"] = {"wall_ms": self.wall_ms}
         return doc
+
+
+def _merge_server_stats(stats_list: List[Dict]) -> Dict:
+    """Aggregate many servers' stats into one cluster-wide summary:
+    numbers sum, nested dicts (the per-op request counters) merge
+    recursively, and the wall-clock ``latency`` section is dropped —
+    summing percentiles across servers would be meaningless, and
+    canonical reports strip it anyway."""
+    merged: Dict = {}
+    for stats in stats_list:
+        _merge_counters(merged,
+                        {key: value for key, value in stats.items()
+                         if key != "latency"})
+    return merged
+
+
+def _merge_counters(target: Dict, source: Dict) -> None:
+    for key, value in source.items():
+        if isinstance(value, dict):
+            node = target.setdefault(key, {})
+            if isinstance(node, dict):
+                _merge_counters(node, value)
+        elif isinstance(value, bool):
+            target[key] = target.get(key, False) or value
+        elif isinstance(value, (int, float)):
+            target[key] = target.get(key, 0) + value
+        else:
+            target.setdefault(key, value)
 
 
 def _strip_latency(server: Dict) -> Dict:
@@ -338,6 +375,9 @@ class FleetEngine:
                 repo_root: Path) -> FleetResult:
         sources = self._sources(scenario)
         baseline = self._baseline(scenario, PROGRAMS[scenario.workload])
+        if scenario.cluster:
+            return self._run_cluster(scenario, repo_root, sources,
+                                     baseline)
         if scenario.warm:
             self._prime(scenario, repo_root, sources)
         disk_faults = [name for name in scenario.faults
@@ -358,6 +398,63 @@ class FleetEngine:
             push_client.close()
             server.stop()
 
+        instances = self._instances(raw, baseline)
+        return FleetResult(scenario=scenario, instances=instances,
+                           server=server.stats.to_dict(),
+                           baseline=baseline)
+
+    def _run_cluster(self, scenario: FleetScenario, repo_root: Path,
+                     sources: List[str], baseline: Dict) -> FleetResult:
+        """Cluster variant of :meth:`_run_in`: hosts a live
+        shards x replicas :class:`LocalCluster` under ``repo_root``,
+        primes it *through* the cluster client (so warm stores carry
+        replicated, merged manifests), rots each replica store
+        independently under disk fault cocktails, and boots every
+        instance through a :class:`ClusterRepository`.  The
+        determinism contract is unchanged — priming and publishing
+        happen outside the herd's pull window, in rank order."""
+        from repro.cluster import ClusterRepository, LocalCluster
+        grid = LocalCluster(repo_root, shards=scenario.shards,
+                            replicas=scenario.replicas)
+        spec = grid.start()
+        push_client = ClusterRepository(
+            spec, local=None, timeout=scenario.timeout,
+            retries=scenario.retries)
+        try:
+            if scenario.warm:
+                staging = repo_root.parent / f"{repo_root.name}-prime"
+                if staging.exists():
+                    shutil.rmtree(staging)
+                self._prime(scenario, staging, sources)
+                source_repo = TranslationRepository(staging)
+                manifests = Path(staging) / "manifests"
+                for path in sorted(manifests.glob("*.json")):
+                    config_fp, sep, image_fp = path.stem.partition("__")
+                    if sep:
+                        push_client.save(
+                            source_repo.load(config_fp, image_fp),
+                            config_fp, image_fp)
+            disk_faults = [name for name in scenario.faults
+                           if make_fault(name).disk]
+            if disk_faults:
+                injector = FaultInjector(scenario.seed, disk_faults)
+                for key in sorted(grid.servers):
+                    injector.mangle_repository(grid.repo_dir(*key))
+            raw = self._boot_fleet(scenario, sources,
+                                   spec.to_string(), push_client,
+                                   cluster=True)
+            server_stats = _merge_server_stats(
+                [grid.servers[key].stats.to_dict()
+                 for key in sorted(grid.servers)])
+        finally:
+            push_client.close()
+            grid.stop()
+        instances = self._instances(raw, baseline)
+        return FleetResult(scenario=scenario, instances=instances,
+                           server=server_stats, baseline=baseline)
+
+    def _instances(self, raw: List[Dict],
+                   baseline: Dict) -> List[InstanceResult]:
         instances = []
         for rank, result in enumerate(raw):
             instances.append(InstanceResult(
@@ -377,13 +474,11 @@ class FleetEngine:
                 injected=result["injected"],
                 problems=self._check_instance(result, baseline),
                 trace_events=result["trace_events"]))
-        return FleetResult(scenario=scenario, instances=instances,
-                           server=server.stats.to_dict(),
-                           baseline=baseline)
+        return instances
 
     def _boot_fleet(self, scenario: FleetScenario, sources: List[str],
-                    address: str,
-                    push_client: RemoteRepository) -> List[Dict]:
+                    address: str, push_client,
+                    cluster: bool = False) -> List[Dict]:
         specs = [{
             "rank": rank,
             "source": sources[rank],
@@ -391,6 +486,7 @@ class FleetEngine:
             "hot_threshold": scenario.hot_threshold,
             "max_instructions": scenario.max_instructions,
             "address": address,
+            "cluster": address if cluster else "",
             "timeout": scenario.timeout,
             "retries": scenario.retries,
             "faults": [name for name in scenario.faults
@@ -412,7 +508,7 @@ class FleetEngine:
         return results
 
     @staticmethod
-    def _publish(result: Dict, push_client: RemoteRepository) -> None:
+    def _publish(result: Dict, push_client) -> None:
         """Push one instance's captured translations (engine-side, in
         rank order — see the determinism contract)."""
         push_client.save(result["records"], result["config_fp"],

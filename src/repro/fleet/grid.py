@@ -29,7 +29,14 @@ Axes:
 * ``faults`` — an optional cocktail of registered fault-class names
   (``tools/chaos.py`` classes); faulted scenarios serialize the pool
   (``workers=1``) so injection stays seed-deterministic;
-* ``seed`` — the scenario seed (image perturbation, fault injectors).
+* ``seed`` — the scenario seed (image perturbation, fault injectors);
+* ``shards`` / ``replicas`` — cluster topology: ``1x1`` (default)
+  hosts the classic single cache server, anything larger hosts a
+  sharded/replicated :class:`~repro.cluster.manager.LocalCluster` and
+  boots every instance through the cluster-aware client (see
+  ``docs/cluster.md``).  The axes only appear in the canonical
+  scenario dict when a cluster is in play, so single-server reports
+  are byte-identical to earlier releases.
 
 Scenario expansion order is fixed by :data:`AXIS_ORDER`, never by dict
 iteration order of the caller's mapping, so a sweep's report is
@@ -50,7 +57,7 @@ POOLS = ("thread", "process")
 #: iterates the cartesian product in exactly this order regardless of
 #: how the caller's mapping is ordered.
 AXIS_ORDER = ("n", "boot_policy", "image_policy", "config", "warm",
-              "workload", "faults", "seed")
+              "workload", "faults", "seed", "shards", "replicas")
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,8 @@ class FleetScenario:
     workload: str = "fibonacci"
     faults: Tuple[str, ...] = ()
     seed: int = 0
+    shards: int = 1
+    replicas: int = 1
     # execution knobs (not grid axes; excluded from the canonical dict)
     hot_threshold: int = 20
     max_instructions: int = 2_000_000
@@ -89,6 +98,16 @@ class FleetScenario:
                              f"choose from {POOLS}")
         if not isinstance(self.faults, tuple):
             object.__setattr__(self, "faults", tuple(self.faults))
+        if self.shards < 1 or self.replicas < 1:
+            raise ValueError(
+                f"cluster topology must be >= 1x1, got "
+                f"{self.shards}x{self.replicas}")
+
+    @property
+    def cluster(self) -> bool:
+        """Whether this scenario hosts a sharded cluster (anything
+        beyond the classic 1x1 single cache server)."""
+        return self.shards > 1 or self.replicas > 1
 
     @property
     def effective_workers(self) -> int:
@@ -105,11 +124,15 @@ class FleetScenario:
                  self.workload, f"seed={self.seed}"]
         if self.faults:
             parts.append("faults=" + "+".join(self.faults))
+        if self.cluster:
+            parts.append(f"cluster={self.shards}x{self.replicas}")
         return " ".join(parts)
 
     def to_dict(self) -> Dict:
-        """Canonical axis dict (what the fleet report embeds)."""
-        return {
+        """Canonical axis dict (what the fleet report embeds).  The
+        cluster axes appear only for cluster scenarios, so 1x1 reports
+        serialize byte-identically to pre-cluster releases."""
+        doc = {
             "n": self.n,
             "boot_policy": self.boot_policy,
             "image_policy": self.image_policy,
@@ -119,6 +142,10 @@ class FleetScenario:
             "faults": list(self.faults),
             "seed": self.seed,
         }
+        if self.cluster:
+            doc["shards"] = self.shards
+            doc["replicas"] = self.replicas
+        return doc
 
 
 _SCENARIO_FIELDS = {f.name for f in fields(FleetScenario)}

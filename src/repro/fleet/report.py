@@ -41,11 +41,17 @@ log = logging.getLogger("repro.fleet")
 SCHEMA = "repro.fleet/v1"
 
 #: RemoteStats counters summed across the herd for the degradation
-#: section (zero across the board in a healthy fleet).
+#: section (zero across the board in a healthy fleet).  The cluster
+#: tier's ladder counters ride along; instances booted through a
+#: single server simply report 0 for them (``dict.get`` below).
 DEGRADATION_COUNTERS = ("retries", "timeouts", "conn_errors",
                         "protocol_errors", "lease_busy",
                         "server_errors", "breaker_opens",
-                        "breaker_short_circuits", "fallbacks")
+                        "breaker_short_circuits", "fallbacks",
+                        "failovers", "stale_replicas",
+                        "group_degradations", "local_fallbacks",
+                        "cold_degradations", "quorum_misses",
+                        "push_group_failures")
 
 _PERCENTILES = (50, 95, 99)
 

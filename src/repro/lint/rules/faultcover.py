@@ -11,8 +11,8 @@ Three checks, all cross-checked against the live fault-class registry
 
 * every risky call (``open``, ``os.open``, ``os.replace``,
   ``os.rename``, ``os.fsync``, ``socket.socket``, ``.connect``) in a
-  production ``persist``/``cacheserver`` function must be *dominated*
-  by a ``fault_point`` call earlier in the same function;
+  production ``persist``/``cacheserver``/``cluster`` function must be
+  *dominated* by a ``fault_point`` call earlier in the same function;
 * every ``fault_point("<site>")`` literal anywhere in the package must
   name a site some registered fault class listens on (else the call is
   dead weight that injects nothing);
@@ -38,7 +38,7 @@ from repro.lint.rules.common import call_target, iter_calls, \
     literal_str_arg, module_imports
 
 #: Production packages whose I/O must sit behind the fault plane.
-_SCOPE = ("persist", "cacheserver")
+_SCOPE = ("persist", "cacheserver", "cluster")
 
 _OS_RISKY = {"open", "replace", "rename", "fsync"}
 

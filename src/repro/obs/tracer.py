@@ -72,6 +72,13 @@ EVENT_TYPES: Dict[str, str] = {
     "server.start": "i",
     "server.request": "i",
     "server.stop": "i",
+    # cluster tier (repro.cluster): the degradation ladder made
+    # visible — replica failovers, per-group degradations, write
+    # quorum accounting, anti-entropy repair actions
+    "cluster.failover": "i",
+    "cluster.degrade": "i",
+    "cluster.quorum": "i",
+    "cluster.repair": "i",
     # run envelope
     "run.begin": "i",
     "run.end": "i",
@@ -96,6 +103,7 @@ _TRACKS = {
     "remote": 8,
     "server": 9,
     "fleet": 10,
+    "cluster": 11,
 }
 _DEFAULT_TRACK = 0
 

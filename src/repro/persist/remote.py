@@ -1,13 +1,14 @@
 """RemoteRepository — the fault-tolerant shared-cache client.
 
 To the VM this is just another repository (``load`` / ``save`` /
-``manifest_entry_count``), but it fronts a
-:class:`~repro.cacheserver.server.CacheServer` over a socket, and the
-network is allowed to do its worst.  The contract mirrors the rest of
-the translation stack: the shared cache is an *optimization*, so **no
-server failure may change architected results or kill the run** — every
-failure mode degrades, in order, to the local repository and ultimately
-to cold BBT translation.
+``manifest_entry_count``), but it fronts one or more
+:class:`~repro.cacheserver.server.CacheServer` endpoints over sockets,
+and the network is allowed to do its worst.  The contract mirrors the
+rest of the translation stack: the shared cache is an *optimization*,
+so **no server failure may change architected results or kill the
+run** — every failure mode degrades, in order, to another replica
+endpoint, then the local repository and ultimately cold BBT
+translation.
 
 Failure handling, layer by layer:
 
@@ -19,23 +20,31 @@ Failure handling, layer by layer:
   with exponential backoff and *deterministic* jitter (hashed from the
   request identity, never the wall clock or a global RNG, so tests and
   chaos runs replay exactly);
+* **replica failover** — a client given several endpoints (a shard
+  group's replica set, see ``repro.cluster``) spreads its retry budget
+  across them in declared order, healthy endpoints first, so one dead
+  replica costs one attempt, not the whole request;
 * **checksum screening** — frames carry a CRC over the payload; a
   corrupt payload is dropped at the codec, counted, and retried like
   any transient failure;
-* **circuit breaker** — after ``breaker_threshold`` consecutive
-  request failures the breaker opens and requests short-circuit
-  straight to the fallback for ``breaker_cooldown`` seconds (one probe
-  is let through afterwards, closing the breaker on success), so a
-  dead server is paid for once, not once per block;
+* **per-endpoint circuit breakers** — each endpoint owns its breaker:
+  after ``breaker_threshold`` consecutive request failures *on that
+  endpoint* it opens and that endpoint drops out of the failover order
+  for ``breaker_cooldown`` seconds (then one half-open probe is let
+  through, closing it on success).  Breakers are independent, so a
+  dead replica can never blacklist its healthy siblings; requests
+  short-circuit to the fallback only when every endpoint's breaker is
+  open;
 * **graceful degradation** — any exhausted request falls back to the
   ``local`` repository when one was given, else behaves like an empty
   store (a load returns no records and the VM translates cold).
 
-Every decision is observable: counters in :class:`RemoteStats`,
+Every decision is observable: counters in :class:`RemoteStats`, the
+per-endpoint :meth:`RemoteRepository.endpoint_health` view,
 ``remote.*`` events in a bound tracer, and a flight-recorder dump
 (:attr:`RemoteRepository.last_flight`) snapshotting the events leading
 up to each fallback.  See ``docs/cache_server.md`` for the failure
-matrix.
+matrix and ``docs/cluster.md`` for the multi-endpoint ladder.
 """
 
 from __future__ import annotations
@@ -45,7 +54,7 @@ import socket
 import time
 import zlib
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cacheserver import protocol
 from repro.faults.plane import fault_point
@@ -84,6 +93,22 @@ def parse_address(address) -> Tuple[str, object]:
     return "tcp", (host or "127.0.0.1", int(port))
 
 
+def as_address_list(address) -> List:
+    """Normalize one address or a replica list into a list.
+
+    A bare ``(host, port)`` 2-tuple is one address, not two.
+    """
+    if isinstance(address, (list, tuple)):
+        if (len(address) == 2 and isinstance(address[0], str)
+                and isinstance(address[1], int)):
+            return [tuple(address)]
+        addresses = list(address)
+        if not addresses:
+            raise ValueError("empty server address list")
+        return addresses
+    return [address]
+
+
 @dataclass
 class RemoteStats:
     """Client-side counters — the observable shape of every degradation."""
@@ -99,6 +124,8 @@ class RemoteStats:
     breaker_opens: int = 0
     breaker_short_circuits: int = 0
     fallbacks: int = 0
+    #: requests served by a non-primary endpoint (replica failover)
+    failovers: int = 0
     records_pulled: int = 0
     records_pushed: int = 0
 
@@ -158,14 +185,45 @@ class CircuitBreaker:
         return False
 
 
-class RemoteRepository:
-    """Translation repository served by a cache server, with fallback.
+class Endpoint:
+    """One server address: its socket, circuit breaker and counters.
 
-    ``address`` is anything :func:`parse_address` accepts.  ``local``
-    (a path or :class:`TranslationRepository`, optional) is the
-    degradation target; without one, failed loads act like an empty
+    Breaker state living *here* — not on the client — is what keeps a
+    dead replica from blacklisting its healthy siblings: each endpoint
+    opens, cools down and half-open-probes independently.
+    """
+
+    def __init__(self, address, index: int,
+                 breaker: CircuitBreaker) -> None:
+        self.kind, self.endpoint = parse_address(address)
+        self.address = address if isinstance(address, str) \
+            else f"{self.endpoint[0]}:{self.endpoint[1]}"
+        self.index = index
+        self.breaker = breaker
+        self.sock: Optional[socket.socket] = None
+        self.failures = 0
+        self.successes = 0
+
+    def close(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class RemoteRepository:
+    """Translation repository served by cache server(s), with fallback.
+
+    ``address`` is anything :func:`parse_address` accepts, or a list of
+    such addresses — a replica set the client fails over across (the
+    cluster tier builds one client per shard group this way).
+    ``local`` (a path or :class:`TranslationRepository`, optional) is
+    the degradation target; without one, failed loads act like an empty
     store.  ``sleep`` is injectable so tests and chaos runs never
-    actually wait out a backoff.
+    actually wait out a backoff.  ``name`` labels this client (the
+    shard group name) in fault-injection context and traces.
     """
 
     def __init__(self, address, local=None, timeout: float = 2.0,
@@ -174,10 +232,14 @@ class RemoteRepository:
                  breaker_threshold: int = 4,
                  breaker_cooldown: float = 1.0,
                  tracer=None, sleep=time.sleep,
-                 clock=time.monotonic) -> None:
-        self.kind, self.endpoint = parse_address(address)
-        self.address = address if isinstance(address, str) \
-            else f"{self.endpoint[0]}:{self.endpoint[1]}"
+                 clock=time.monotonic, name: str = "") -> None:
+        self.endpoints = [
+            Endpoint(addr, index,
+                     CircuitBreaker(threshold=breaker_threshold,
+                                    cooldown=breaker_cooldown,
+                                    clock=clock))
+            for index, addr in enumerate(as_address_list(address))]
+        self.name = name
         if local is None or isinstance(local, TranslationRepository):
             self.local = local
         else:
@@ -187,12 +249,8 @@ class RemoteRepository:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.remote_stats = RemoteStats()
-        self.breaker = CircuitBreaker(threshold=breaker_threshold,
-                                      cooldown=breaker_cooldown,
-                                      clock=clock)
         self.tracer = tracer
         self._sleep = sleep
-        self._sock: Optional[socket.socket] = None
         self._request_seq = 0
         #: flight-recorder dump taken at the last fallback (needs a
         #: bound tracer); forensic context for "why did we go local?"
@@ -202,6 +260,37 @@ class RemoteRepository:
         #: or when the last push degraded to the local repository.  The
         #: fleet engine reads dedup-amortization curves from this.
         self.last_push: Optional[Dict] = None
+
+    # -- single-endpoint back-compat surface --------------------------------
+
+    @property
+    def address(self) -> str:
+        """Human-readable address (all endpoints, comma-joined)."""
+        return ",".join(ep.address for ep in self.endpoints)
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The primary endpoint's breaker (single-server callers)."""
+        return self.endpoints[0].breaker
+
+    @property
+    def kind(self) -> str:
+        return self.endpoints[0].kind
+
+    @kind.setter
+    def kind(self, value: str) -> None:
+        self.endpoints[0].kind = value
+
+    @property
+    def endpoint(self):
+        return self.endpoints[0].endpoint
+
+    @endpoint.setter
+    def endpoint(self, value) -> None:
+        # tests repoint a client at a restarted server: drop the dead
+        # socket so the next attempt reconnects to the new address
+        self.endpoints[0].close()
+        self.endpoints[0].endpoint = value
 
     def bind_tracer(self, tracer) -> None:
         """Attach an event tracer (``CoDesignedVM`` does this for the
@@ -214,30 +303,26 @@ class RemoteRepository:
 
     # -- connection management ----------------------------------------------
 
-    def _connect(self) -> socket.socket:
-        if self._sock is not None:
-            return self._sock
-        fault_point("net.connect", address=self.address)
-        if self.kind == "unix":
+    def _connect(self, ep: Endpoint) -> socket.socket:
+        if ep.sock is not None:
+            return ep.sock
+        fault_point("net.connect", address=ep.address)
+        if ep.kind == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.settimeout(self.timeout)
         try:
-            sock.connect(self.endpoint)
+            sock.connect(ep.endpoint)
         except BaseException:
             sock.close()
             raise
-        self._sock = sock
+        ep.sock = sock
         return sock
 
     def close(self) -> None:
-        sock, self._sock = self._sock, None
-        if sock is not None:
-            try:
-                sock.close()
-            except OSError:
-                pass
+        for ep in self.endpoints:
+            ep.close()
 
     # -- the request engine --------------------------------------------------
 
@@ -254,9 +339,13 @@ class RemoteRepository:
         return min(self.backoff_cap,
                    self.backoff_base * (2 ** attempt) * factor)
 
-    def _attempt(self, op: str, payload: Dict) -> Dict:
-        """One network round trip; raises on any failure."""
-        sock = self._connect()
+    def _attempt(self, op: str, payload: Dict, ep: Endpoint) -> Dict:
+        """One network round trip on one endpoint; raises on failure."""
+        if fault_point("cluster.replica", group=self.name,
+                       replica=ep.index, address=ep.address):
+            raise ConnectionResetError(
+                f"injected replica partition from {ep.address}")
+        sock = self._connect(ep)
         request = {"op": op}
         request.update(payload)
         fault_point("net.send", op=op)
@@ -276,29 +365,48 @@ class RemoteRepository:
             if category == "busy":
                 # admission rejections also drop the connection
                 # server-side; reconnect on the retry
-                self.close()
+                ep.close()
             raise _LeaseBusy(f"{category}: {detail}")
         raise RemoteError(f"server refused {op}: {category}: {detail}")
 
-    def _request(self, op: str, payload: Dict) -> Dict:
-        """Timeouts, retries, backoff, breaker — or an exception."""
+    def _candidates(self, endpoints: Sequence[Endpoint]) -> List[Endpoint]:
+        """Failover order for one request: closed breakers first (in
+        declared order); open-breaker endpoints join only when no
+        healthy one remains, and only if their cooldown grants a
+        half-open probe (``allows`` is consumed exactly when the
+        endpoint will actually be tried)."""
+        closed = [ep for ep in endpoints if not ep.breaker.is_open]
+        if closed:
+            return closed
+        return [ep for ep in endpoints if ep.breaker.allows()]
+
+    def _request(self, op: str, payload: Dict,
+                 endpoints: Optional[Sequence[Endpoint]] = None) -> Dict:
+        """Timeouts, retries, backoff, failover, breakers — or raises."""
         stats = self.remote_stats
         stats.requests += 1
         self._request_seq += 1
-        if not self.breaker.allows():
+        pool = self.endpoints if endpoints is None else list(endpoints)
+        candidates = self._candidates(pool)
+        if not candidates:
             stats.breaker_short_circuits += 1
             raise RemoteUnavailable(
                 f"circuit breaker open for {self.address}")
         self._trace("remote.request", op=op, seq=self._request_seq)
         last_error: Optional[Exception] = None
+        tried: List[Endpoint] = []
         for attempt in range(self.retries + 1):
+            ep = candidates[attempt % len(candidates)]
+            if ep not in tried:
+                tried.append(ep)
             if attempt:
                 stats.retries += 1
                 self._trace("remote.retry", op=op, attempt=attempt,
+                            endpoint=ep.index,
                             error=type(last_error).__name__)
                 self._sleep(self._backoff(op, attempt - 1))
             try:
-                response = self._attempt(op, payload)
+                response = self._attempt(op, payload, ep)
             except _LeaseBusy as error:
                 stats.lease_busy += 1
                 last_error = error
@@ -307,34 +415,46 @@ class RemoteRepository:
             except protocol.ProtocolError as error:
                 stats.protocol_errors += 1
                 last_error = error
-                self.close()    # framing is unrecoverable mid-stream
+                ep.close()      # framing is unrecoverable mid-stream
                 continue
             except (socket.timeout, TimeoutError) as error:
                 stats.timeouts += 1
                 last_error = error
-                self.close()
+                ep.close()
                 continue
             except OSError as error:
                 stats.conn_errors += 1
                 last_error = error
-                self.close()
+                ep.close()
                 continue
             except RemoteError:
-                self.close()
-                if self.breaker.record_failure():
+                ep.close()
+                ep.failures += 1
+                if ep.breaker.record_failure():
                     stats.breaker_opens += 1
-                    self._trace("remote.breaker_open", op=op)
+                    self._trace("remote.breaker_open", op=op,
+                                endpoint=ep.index)
                 raise
-            was_open = self.breaker.is_open
-            self.breaker.record_success()
+            was_open = ep.breaker.is_open
+            ep.breaker.record_success()
+            ep.successes += 1
             if was_open:
-                self._trace("remote.breaker_close", op=op)
+                self._trace("remote.breaker_close", op=op,
+                            endpoint=ep.index)
+            if ep is not pool[0]:
+                stats.failovers += 1
             stats.successes += 1
             return response
-        self.close()
-        if self.breaker.record_failure():
-            stats.breaker_opens += 1
-            self._trace("remote.breaker_open", op=op)
+        # exhausted: every endpoint that participated records exactly
+        # one failure — per-request, per-endpoint, so a single dead
+        # replica trips only its own breaker
+        for ep in tried:
+            ep.close()
+            ep.failures += 1
+            if ep.breaker.record_failure():
+                stats.breaker_opens += 1
+                self._trace("remote.breaker_open", op=op,
+                            endpoint=ep.index)
         raise RemoteUnavailable(
             f"{op} to {self.address} failed after "
             f"{self.retries + 1} attempt(s): "
@@ -353,6 +473,64 @@ class RemoteRepository:
                     "to %s", op, error,
                     "local repository" if self.local is not None
                     else "cold translation")
+
+    # -- cluster-facing surface ----------------------------------------------
+
+    def request(self, op: str, payload: Optional[Dict] = None) -> Dict:
+        """One raw request with the full retry/failover/breaker engine.
+
+        Unlike the repository surface this *raises* on exhaustion — the
+        cluster client (``repro.cluster.client``) owns the degradation
+        ladder across shard groups and needs to see the failure.
+        """
+        return self._request(op, payload or {})
+
+    def fan_out(self, op: str,
+                payload: Optional[Dict] = None) -> List[Optional[Dict]]:
+        """Send one request to *every* endpoint individually.
+
+        Returns one entry per endpoint, ``None`` where that endpoint's
+        request exhausted its budget — the cluster's replicated writes
+        count quorum from this.  Never raises.
+        """
+        results: List[Optional[Dict]] = []
+        for ep in self.endpoints:
+            try:
+                results.append(self._request(op, payload or {},
+                                             endpoints=[ep]))
+            except Exception as error:  # noqa: BLE001 - per-endpoint
+                # failures are the data here, not an exception
+                log.debug("fan-out %s to %s failed: %s", op,
+                          ep.address, error)
+                results.append(None)
+        return results
+
+    def endpoint_health(self) -> List[Dict]:
+        """Per-endpoint health view: breaker state + the server's own
+        ``health`` answer (None for unreachable endpoints)."""
+        view = []
+        for ep in self.endpoints:
+            entry = {
+                "address": ep.address,
+                "index": ep.index,
+                "breaker_open": ep.breaker.is_open,
+                "consecutive_failures": ep.breaker.failures,
+                "failures": ep.failures,
+                "successes": ep.successes,
+            }
+            try:
+                response = self._request("health", {}, endpoints=[ep])
+            except Exception as error:  # noqa: BLE001 - unreachable is
+                # a legal health answer, not an error
+                log.debug("health probe to %s failed: %s",
+                          ep.address, error)
+                entry["health"] = None
+            else:
+                entry["health"] = {key: value
+                                   for key, value in response.items()
+                                   if key != "ok"}
+            view.append(entry)
+        return view
 
     # -- the repository surface ---------------------------------------------
 
@@ -373,11 +551,13 @@ class RemoteRepository:
         return records
 
     def save(self, records: List[Dict], config_fp: str, image_fp: str,
-             config_name: str = "") -> int:
+             config_name: str = "", merge: bool = False) -> int:
         """Push records to the server; never raises."""
         payload = {"records": [r for r in records if r is not None],
                    "config_fp": config_fp, "image_fp": image_fp,
                    "config_name": config_name}
+        if merge:
+            payload["merge"] = True
         try:
             response = self._request("push", payload)
         except Exception as error:  # noqa: BLE001 - degrade, never raise
@@ -386,7 +566,7 @@ class RemoteRepository:
             if self.local is None:
                 return 0
             return self.local.save(records, config_fp, image_fp,
-                                   config_name=config_name)
+                                   config_name=config_name, merge=merge)
         written = response.get("written")
         written = written if isinstance(written, int) else 0
         self.last_push = {
@@ -419,6 +599,17 @@ class RemoteRepository:
         except Exception as error:  # noqa: BLE001 - degrade, never raise
             log.debug("ping failed: %s", error)
             return False
+
+    def health(self) -> Optional[Dict]:
+        """The first healthy endpoint's structured ``health`` answer,
+        or None when no endpoint responds."""
+        try:
+            response = self._request("health", {})
+        except Exception as error:  # noqa: BLE001 - degrade, never raise
+            log.debug("health request failed: %s", error)
+            return None
+        return {key: value for key, value in response.items()
+                if key != "ok"}
 
     def server_stats(self) -> Optional[Dict]:
         """The server's repository + request stats, or None."""

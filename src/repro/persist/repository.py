@@ -242,13 +242,18 @@ class TranslationRepository:
 
     def save(self, records: List[Dict], config_fp: str, image_fp: str,
              config_name: str = "",
-             lease_timeout: float = DEFAULT_TIMEOUT) -> int:
+             lease_timeout: float = DEFAULT_TIMEOUT,
+             merge: bool = False) -> int:
         """Persist records under one (config, image) manifest.
 
         Returns the number of records written.  Existing objects with
-        the same content key are reused (their LRU stamp is refreshed);
-        the manifest is replaced wholesale so it exactly mirrors the
-        saved snapshot.
+        the same content key are reused (their LRU stamp is refreshed).
+        By default the manifest is replaced wholesale so it exactly
+        mirrors the saved snapshot; with ``merge=True`` the new keys
+        are *unioned* with the manifest's existing entries and the
+        result is sorted, so concurrent writers compose — any push
+        order converges on the identical entry list (the cluster tier's
+        replicas rely on this to reach byte-equal manifests).
 
         The whole sequence runs under the writer lease; if the lease
         stays contended past ``lease_timeout`` nothing is written and 0
@@ -262,12 +267,13 @@ class TranslationRepository:
             return 0
         try:
             return self._save_locked(records, config_fp, image_fp,
-                                     config_name)
+                                     config_name, merge=merge)
         finally:
             lease.release()
 
     def _save_locked(self, records: List[Dict], config_fp: str,
-                     image_fp: str, config_name: str) -> int:
+                     image_fp: str, config_name: str,
+                     merge: bool = False) -> int:
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.manifests_dir.mkdir(parents=True, exist_ok=True)
         meta = self._load_meta()
@@ -301,6 +307,12 @@ class TranslationRepository:
                                     "entry": record["entry"]}
             keys.append(key)
 
+        if merge:
+            previous = self._read_manifest(config_fp, image_fp)
+            if previous is not None:
+                existing = [key for key in previous.get("entries", ())
+                            if isinstance(key, str)]
+                keys = sorted(set(keys) | set(existing))
         manifest = {
             "format": FORMAT_VERSION,
             "config_fingerprint": config_fp,

@@ -106,8 +106,14 @@ class TestGrid:
 
     def test_canonical_dict_is_axes_only(self):
         doc = FleetScenario(workers=3, timeout=1.0).to_dict()
-        assert sorted(doc) == sorted(AXIS_ORDER)
+        # non-cluster (1x1) scenarios keep their exact pre-cluster
+        # keys so existing reports stay byte-identical
+        assert sorted(doc) == sorted(
+            axis for axis in AXIS_ORDER
+            if axis not in ("shards", "replicas"))
         assert "workers" not in doc and "timeout" not in doc
+        clustered = FleetScenario(shards=2, replicas=2).to_dict()
+        assert sorted(clustered) == sorted(AXIS_ORDER)
 
 
 class TestPerturbSource:

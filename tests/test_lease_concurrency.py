@@ -104,6 +104,61 @@ class TestWriterLease:
         assert (tmp_path / "writer.lease").exists()
 
 
+def _stale_stealer(root, break_barrier, acquire_barrier, queue):
+    """Race worker: everyone breaks the planted stale lease at once,
+    then everyone contends one ``try_acquire`` at once (the barrier
+    between the phases pins the interleaving the tombstone protocol
+    must survive: N concurrent renames of one expired file)."""
+    lease = WriterLease(root, ttl=60.0)
+    break_barrier.wait(timeout=10.0)
+    if lease._expired():
+        lease._break_stale()
+    acquire_barrier.wait(timeout=10.0)
+    won = lease.try_acquire()
+    # winners exit still holding: process death must not unlink the
+    # lease file (only an explicit release or a later steal may)
+    queue.put((lease.holder, won))
+
+
+class TestStaleStealRace:
+    """Two (here: six) processes stealing the same expired lease must
+    produce exactly one winner — the unique-tombstone rename means at
+    most one process's break succeeds, and ``O_CREAT | O_EXCL`` means
+    at most one re-contender creates the replacement."""
+
+    STEALERS = 6
+
+    def test_expired_lease_steal_race_has_one_winner(self, tmp_path):
+        (tmp_path / "writer.lease").write_text(json.dumps(
+            {"holder": "crashed:0:0", "pid": 0,
+             "expires": time.time() - 60.0}))
+        context = multiprocessing.get_context("spawn")
+        break_barrier = context.Barrier(self.STEALERS)
+        acquire_barrier = context.Barrier(self.STEALERS)
+        queue = context.Queue()
+        workers = [context.Process(
+            target=_stale_stealer,
+            args=(str(tmp_path), break_barrier, acquire_barrier,
+                  queue)) for _ in range(self.STEALERS)]
+        for worker in workers:
+            worker.start()
+        results = [queue.get(timeout=60.0) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60.0)
+        assert not any(worker.is_alive() for worker in workers)
+        winners = [holder for holder, won in results if won]
+        assert len(winners) == 1, f"expected one winner: {results}"
+        # the surviving lease file names the winner, and every
+        # tombstone from the break race was cleaned up
+        body = json.loads((tmp_path / "writer.lease").read_text())
+        assert body["holder"] == winners[0]
+        assert list(tmp_path.glob("writer.lease.stale-*")) == []
+        # a loser's release must not disturb the winner's lease
+        loser = WriterLease(tmp_path, ttl=60.0)
+        loser.release()
+        assert (tmp_path / "writer.lease").exists()
+
+
 class TestLeaseSerialization:
     def test_gc_degrades_while_save_holds_lease(self, tmp_path):
         """The gc-vs-save race: gc must not evict under a live writer."""

@@ -5,11 +5,17 @@ Sweeps the full fault matrix over the seed workloads:
 
 * every registered fault class alone at a forced rate, in every mode
   it has surface in (warm boot from a mangled repository, cold run
-  with runtime faults armed, or — for the network classes — a warm
-  boot through a live cache server and the fault-tolerant client);
+  with runtime faults armed, a warm boot through a live cache server
+  and the fault-tolerant client for the network classes, or a warm
+  boot through a live sharded cluster for the cluster classes);
 * all classes together at several seeds, both modes;
 * all classes together through the remote client/server path (the
   client/server chaos cocktail of ``docs/cache_server.md``);
+* all classes together through a live 3x2 cluster (the cluster
+  cocktail of ``docs/cluster.md``);
+* a live cluster drill: kill one replica, then a whole shard group,
+  mid-fleet — every boot must still byte-match the fault-free
+  baseline — then restart + anti-entropy must restore replication;
 * an fsck round-trip per disk fault class: mangle, ``fsck --repair``,
   re-check clean, then warm-start from the repaired store.
 
@@ -25,6 +31,7 @@ Run directly (``python tools/chaos.py``) or via ``make chaos`` /
 from __future__ import annotations
 
 import pathlib
+import shutil
 import sys
 import tempfile
 
@@ -34,10 +41,12 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
 from repro.core.config import vm_soft                    # noqa: E402
 from repro.core.vm import CoDesignedVM                   # noqa: E402
 from repro.faults import (                               # noqa: E402
+    ArchOutcome,
     FaultInjector,
     all_fault_names,
     make_fault,
     modes_for,
+    needs_cluster,
     needs_remote,
     prepare_baseline,
     run_faulted,
@@ -53,6 +62,10 @@ COCKTAIL_SEEDS = (0, 1, 2, 3)
 # remote cocktail sweeps a subset of workloads and seeds
 REMOTE_WORKLOADS = ("fibonacci", "checksum")
 REMOTE_SEEDS = (0, 1, 2)
+# the cluster path spins 6 live servers per run, so its cocktail and
+# the kill/repair drill sweep an even tighter subset
+CLUSTER_WORKLOADS = ("fibonacci", "checksum")
+CLUSTER_SEEDS = (0, 1)
 
 
 def chaos_matrix(workdir: str) -> int:
@@ -64,15 +77,19 @@ def chaos_matrix(workdir: str) -> int:
         runs = []
         for fault in all_fault_names():
             remote = needs_remote([fault])
+            cluster = needs_cluster([fault])
             for warm in modes_for([fault]):
-                runs.append(([fault], 11, warm, remote, {"rate": 1.0}))
+                runs.append(([fault], 11, warm, remote, cluster,
+                             {"rate": 1.0}))
         for seed in COCKTAIL_SEEDS:
             for warm in (True, False):
-                runs.append((all_fault_names(), seed, warm, False, {}))
-        for faults, seed, warm, remote, overrides in runs:
+                runs.append((all_fault_names(), seed, warm, False,
+                             False, {}))
+        for faults, seed, warm, remote, cluster, overrides in runs:
             outcome = run_faulted(baseline, faults, seed,
                                   workdir=workdir, warm=warm,
-                                  remote=remote, **overrides)
+                                  remote=remote, cluster=cluster,
+                                  **overrides)
             print(outcome.format())
             if not outcome.ok:
                 failures += 1
@@ -97,6 +114,141 @@ def remote_cocktail(workdir: str) -> int:
             print(outcome.format())
             if not outcome.ok:
                 failures += 1
+    return failures
+
+
+def cluster_cocktail(workdir: str) -> int:
+    """All fault classes at once through a live 3x2 cluster.
+
+    Shard outages, replica partitions and stale replicas strike the
+    routing/failover ladder, disk faults rot the replica stores and
+    the local fallback alike, runtime faults hit the leftover
+    translation work — and every boot must still byte-match the
+    fault-free baseline.
+    """
+    failures = 0
+    for name in CLUSTER_WORKLOADS:
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        for seed in CLUSTER_SEEDS:
+            outcome = run_faulted(baseline, all_fault_names(), seed,
+                                  workdir=workdir, cluster=True)
+            print(outcome.format())
+            if not outcome.ok:
+                failures += 1
+    return failures
+
+
+def cluster_drill(workdir: str) -> int:
+    """Kill live shard processes mid-fleet; architected results must
+    not move, and restart + anti-entropy must restore replication.
+
+    A seeded sequence of boots against one primed cluster:
+
+    1. fault-free warm boot (the reference: everything loads);
+    2. kill -9-equivalent one replica (seeded choice) — boot fails
+       over to the sibling;
+    3. kill the victim's *whole* shard group — boot degrades that
+       group's records to cold translation (no local fallback here,
+       so degradation is real, not masked);
+    4. restart the dead replicas, run :func:`anti_entropy`, and boot
+       once more — back to a full warm start.
+
+    Every boot must produce the baseline's architected outcome.
+    """
+    import random
+
+    from repro.cluster import ClusterRepository, LocalCluster, \
+        anti_entropy
+    from repro.faults.harness import _manifest_pairs
+
+    failures = 0
+    for seed in CLUSTER_SEEDS:
+        name = CLUSTER_WORKLOADS[seed % len(CLUSTER_WORKLOADS)]
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        root = pathlib.Path(workdir) / f"drill-{name}-{seed}"
+        problems = []
+        with LocalCluster(root) as grid:
+            spec = grid.spec()
+            client = ClusterRepository(spec, retries=2,
+                                       breaker_cooldown=0.0,
+                                       sleep=lambda _s: None)
+            source = TranslationRepository(baseline.repo_dir)
+            total_records = 0
+            keys = []
+            for pair in _manifest_pairs(baseline.repo_dir):
+                records = source.load(*pair)
+                total_records += len(records)
+                keys.extend(record["key"] for record in records)
+                client.save(records, *pair)
+
+            def boot(stage):
+                vm = CoDesignedVM(vm_soft(),
+                                  hot_threshold=HOT_THRESHOLD)
+                vm.load(assemble(baseline.source))
+                load = vm.warm_start(client)
+                vm.run()
+                for diff in baseline.outcome.diff(ArchOutcome.of(vm)):
+                    problems.append(f"{stage}: {diff}")
+                return load
+
+            rng = random.Random(seed)
+            group = grid.group_name(rng.randrange(grid.shards))
+            replica = rng.randrange(grid.replicas)
+
+            full = boot("fault-free boot")
+            if full.loaded != total_records:
+                problems.append(
+                    f"fault-free boot loaded {full.loaded}/"
+                    f"{total_records}")
+
+            grid.stop_replica(group, replica)
+            replica_down = boot(f"boot with {group}/{replica} down")
+            if replica_down.loaded != full.loaded:
+                problems.append(
+                    f"replica kill changed warm loads: "
+                    f"{replica_down.loaded} != {full.loaded}")
+
+            for index in range(grid.replicas):
+                if index != replica:
+                    grid.stop_replica(group, index)
+            boot(f"boot with all of {group} down")
+
+            # the dead replica comes back with its disk wiped, so
+            # anti-entropy has real work: its whole shard share must
+            # be re-replicated from the surviving sibling
+            shutil.rmtree(grid.repo_dir(group, replica),
+                          ignore_errors=True)
+            for index in range(grid.replicas):
+                grid.restart_replica(group, index)
+            report = anti_entropy(spec, retries=1,
+                                  sleep=lambda _s: None)
+            if not report.ok:
+                problems.append("anti-entropy did not converge:\n"
+                                + report.format())
+            share = len(spec.ring().partition(keys).get(group, ()))
+            if report.total_re_replicated != share:
+                problems.append(
+                    f"expected {share} record(s) re-replicated onto "
+                    f"the wiped replica, got "
+                    f"{report.total_re_replicated}")
+            healed = boot("boot after repair")
+            if healed.loaded != full.loaded:
+                problems.append(
+                    f"repair did not restore warm loads: "
+                    f"{healed.loaded} != {full.loaded}")
+            stats = client.remote_stats.to_dict()
+            client.close()
+        status = "ok" if not problems else "FAIL"
+        print(f"{status}  cluster drill {name} seed={seed} "
+              f"victim={group}/{replica} "
+              f"(failovers={stats.get('failovers', 0)}, "
+              f"degradations={stats.get('group_degradations', 0)}, "
+              f"repaired={report.total_re_replicated})")
+        for problem in problems:
+            print(f"      {problem}")
+        failures += bool(problems)
     return failures
 
 
@@ -175,6 +327,10 @@ def main() -> int:
         failures += chaos_matrix(workdir)
         print("\n== client/server chaos cocktail (remote mode) ==")
         failures += remote_cocktail(workdir)
+        print("\n== cluster chaos cocktail (sharded cluster mode) ==")
+        failures += cluster_cocktail(workdir)
+        print("\n== cluster kill/repair drill (live shard outages) ==")
+        failures += cluster_drill(workdir)
         print("\n== fsck repair round-trip (disk fault classes) ==")
         failures += fsck_roundtrip(workdir)
     if failures:

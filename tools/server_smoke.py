@@ -51,16 +51,25 @@ def start_server(socket_path: str, cache_dir: str) -> subprocess.Popen:
          "--socket", socket_path, "--cache-dir", cache_dir],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=str(REPO))
-    deadline = time.monotonic() + SERVER_STARTUP_DEADLINE
-    while time.monotonic() < deadline:
-        line = proc.stdout.readline()
-        if "serving translation cache" in line:
-            return proc
-        if proc.poll() is not None:
-            break
-        if not line:
+    # readiness via the wire ``health`` op — the same structured probe
+    # operators and the cluster tooling use, not a stdout scrape
+    probe = RemoteRepository(f"unix:{socket_path}", timeout=0.5,
+                             retries=0, sleep=lambda _s: None)
+    try:
+        deadline = time.monotonic() + SERVER_STARTUP_DEADLINE
+        while time.monotonic() < deadline:
+            health = probe.health()
+            if health is not None:
+                print(f"server ready: role={health.get('role')} "
+                      f"objects={health.get('objects')} "
+                      f"at {health.get('address')}")
+                return proc
+            if proc.poll() is not None:
+                break
             time.sleep(0.05)
-    raise RuntimeError("server subprocess never announced readiness")
+    finally:
+        probe.close()
+    raise RuntimeError("server subprocess never answered the health op")
 
 
 def fresh_vm() -> CoDesignedVM:
