@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke examples figures clean
+.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,7 +39,7 @@ lint-strict:
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke
+verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -48,8 +48,11 @@ bench:
 # Fast gate for the persistent translation cache: a warm start from the
 # repository must do strictly fewer (in fact zero) BBT translations and
 # cost fewer simulated cycles than a cold start (docs/persistence.md).
+# The run appends its metrics to results/bench_history.jsonl; the
+# trajectory gate then fails on any regression beyond tolerance.
 bench-smoke:
 	$(PYTHON) tools/bench_smoke.py
+	PYTHONPATH=src $(PYTHON) -m repro bench diff
 
 # Seeded fault-injection gate: every fault class, every workload, warm
 # and cold — faulted runs must match their fault-free baselines exactly,
@@ -85,6 +88,14 @@ fleet-smoke:
 # byte-match its cold baseline throughout (docs/cluster.md).
 cluster-smoke:
 	$(PYTHON) tools/cluster_smoke.py
+
+# Telemetry gate: a --collect fleet over a live 3x2 cluster must embed
+# passing SLO verdicts in a byte-deterministic collector snapshot, and
+# its merged Perfetto trace must flow-link every client pull/push span
+# to the server span that served it; `repro monitor` must read the
+# same cluster end to end (docs/observability.md).
+monitor-smoke:
+	$(PYTHON) tools/monitor_smoke.py
 
 # Run every example script end to end.
 examples:

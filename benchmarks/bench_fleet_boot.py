@@ -20,7 +20,10 @@ claims:
   translates cold;
 * the whole grid is **deterministic**: two sweeps at the same seed
   serialize byte-identically (the contract behind
-  ``results/fleet_boot.json``).
+  ``results/fleet_boot.json``);
+* one ``--collect`` herd over a sharded cluster rides along so the
+  archived report embeds the collector's canonical telemetry snapshot
+  with passing SLO verdicts (docs/observability.md).
 """
 
 from repro.analysis.reporting import format_table
@@ -43,11 +46,26 @@ def _sweep():
     return run_sweep(expand_grid(DEFAULT_GRID, workers=8))
 
 
+#: The telemetry rider: a staged herd over a 3x2 cluster with the
+#: collector attached.  Its report entry carries the canonical
+#: telemetry snapshot; the per-fleet assertions below skip it (cluster
+#: pulls fan out per shard, so "one pull per instance" doesn't apply).
+_COLLECT = FleetScenario(n=6, boot_policy="one_then_others", shards=3,
+                         replicas=2, collect=True, workers=3, seed=0)
+
+
 def test_fleet_boot(benchmark):
     results = _sweep()
-    report = build_report(results)
+    collected = FleetEngine().run(_COLLECT)
+    report = build_report(results + [collected])
     assert validate_report(report) == []
     assert all(result.arch_ok for result in results)
+    assert collected.arch_ok
+
+    # the rider entry embeds canonical telemetry with passing verdicts
+    telemetry = report["fleets"][-1]["telemetry"]
+    assert telemetry["slo"], "no SLO verdicts in the collect entry"
+    assert all(v["status"] == "pass" for v in telemetry["slo"])
 
     rows = []
     for result, entry in zip(results, report["fleets"]):
@@ -90,8 +108,10 @@ def test_fleet_boot(benchmark):
         assert entry["server"]["requests"]["pull"] == scenario["n"]
         assert entry["server"]["errors"] == 0
 
-    # determinism acceptance: a second sweep serializes byte-identically
-    assert serialize_report(build_report(_sweep())) == \
+    # determinism acceptance: a second sweep (collect rider included)
+    # serializes byte-identically
+    rerun = _sweep() + [FleetEngine().run(_COLLECT)]
+    assert serialize_report(build_report(rerun)) == \
         serialize_report(report)
 
     table = format_table(

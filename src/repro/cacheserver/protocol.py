@@ -36,6 +36,16 @@ Operations (see ``docs/cache_server.md`` for the full matrix):
   ``"keys": true`` the full sorted entry list rides along (the
   anti-entropy repair pass diffs replicas on it).
 * ``stats`` — repository stats plus the server's request counters.
+* ``telemetry`` — the observability scrape (``docs/observability.md``):
+  the server's full metrics-registry snapshot (counters, gauges and
+  pow2 latency histograms, exactly re-mergeable downstream) plus its
+  bounded buffer of trace spans opened under propagated ``trace_ctx``
+  frames.  Versioned (``"v"``); unknown versions get ``bad-request``.
+
+Any request may carry a ``"trace_ctx"`` field — a
+:class:`repro.obs.telemetry.TraceContext` wire dict.  The server opens
+a child span under it for the duration of the handler; malformed or
+unknown-version contexts are ignored (the request still runs).
 
 This module is socket-free on purpose: everything here is pure
 bytes <-> dict, so the client, the server and the tests share one

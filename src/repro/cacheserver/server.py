@@ -52,6 +52,13 @@ from typing import Dict, Optional
 
 from repro.cacheserver import protocol
 from repro.obs.metrics import MetricsRegistry, metric_field
+from repro.obs.telemetry import (
+    DEFAULT_MAX_SPANS,
+    SPAN_BUFFER_CAPACITY,
+    TELEMETRY_VERSION,
+    SpanBuffer,
+    TraceContext,
+)
 from repro.persist.format import PersistFormatError, validate_record
 from repro.persist.repository import TranslationRepository
 
@@ -108,6 +115,13 @@ class ServerStats:
         with self._lock:
             self.metrics.histogram("server_op_latency_ms",
                                    op=op).observe(ms)
+
+    def registry_snapshot(self) -> Dict:
+        """The full flat metrics snapshot the wire ``telemetry`` op
+        ships — counters as numbers, histograms as re-mergeable bucket
+        dicts (:func:`repro.obs.telemetry.merge_snapshots`)."""
+        with self._lock:
+            return self.metrics.snapshot()
 
     @property
     def requests(self) -> Dict[str, int]:
@@ -223,7 +237,8 @@ class CacheServer:
                  tracer=None, lease_timeout: float = 5.0,
                  connection_timeout: float = 30.0,
                  max_conns: Optional[int] = None,
-                 shard_id: str = "", role: str = "primary") -> None:
+                 shard_id: str = "", role: str = "primary",
+                 span_capacity: int = SPAN_BUFFER_CAPACITY) -> None:
         if isinstance(repository, TranslationRepository):
             self.repository = repository
         else:
@@ -244,6 +259,9 @@ class CacheServer:
         #: unbounded handler-thread pile-up
         self.max_conns = max_conns
         self.stats = ServerStats()
+        #: bounded buffer of spans opened under propagated trace
+        #: contexts; the wire ``telemetry`` op ships it to collectors
+        self.spans = SpanBuffer(capacity=span_capacity)
         self._server: Optional[socketserver.BaseServer] = None
         self._thread: Optional[threading.Thread] = None
         #: serializes pushes in-process so the lease_failures delta
@@ -437,9 +455,22 @@ class CacheServer:
             return protocol.error("bad-request", f"unknown op {op!r}")
         self.stats.count_request(op)
         self._trace("server.request", op=op)
+        # distributed tracing: a request stamped with a trace context
+        # runs inside a child span; the span closes on every path (the
+        # SpanBuffer context manager guarantees it) and an error
+        # response or handler exception marks it ``error``
+        context = TraceContext.from_wire(request.get("trace_ctx"))
         started = time.perf_counter()
         try:
-            return handler(request)
+            if context is None:
+                return handler(request)
+            with self.spans.span("server.op", context, op=op,
+                                 shard=self.shard_id,
+                                 role=self.role) as span:
+                response = handler(request)
+                if not response.get("ok", False):
+                    span["status"] = "error"
+                return response
         except Exception as error:   # noqa: BLE001 - the connection
             # must get an answer and the server must outlive any bug
             self.stats.count("errors")
@@ -480,6 +511,37 @@ class CacheServer:
             lease={"held": held,
                    "holder": body.get("holder") if held else None,
                    "expired": lease._expired() if held else False})
+
+    def _op_telemetry(self, request: Dict) -> Dict:
+        """The observability scrape: identity + the full metrics
+        snapshot + the bounded span buffer.
+
+        :class:`repro.obs.collector.ClusterCollector` polls this on
+        every replica of every shard and re-merges the snapshots
+        exactly (pow2 buckets sum bound-by-bound).  Versioned so a
+        future collector cannot misread an old server: an unknown
+        ``"v"`` answers ``bad-request`` instead of guessing.
+        """
+        version = request.get("v")
+        if version != TELEMETRY_VERSION:
+            return protocol.error(
+                "bad-request",
+                f"unsupported telemetry version {version!r} "
+                f"(this server speaks {TELEMETRY_VERSION})")
+        max_spans = request.get("max_spans", DEFAULT_MAX_SPANS)
+        if isinstance(max_spans, bool) or \
+                not isinstance(max_spans, int) or max_spans < 0:
+            return protocol.error("bad-request",
+                                  f"bad max_spans {max_spans!r}")
+        return protocol.ok(
+            version=TELEMETRY_VERSION,
+            shard_id=self.shard_id,
+            role=self.role,
+            address=self.address,
+            objects=len(self.repository._load_meta()["objects"]),
+            draining=self.draining,
+            metrics=self.stats.registry_snapshot(),
+            spans=self.spans.to_wire(max_spans))
 
     def _op_manifest(self, request: Dict) -> Dict:
         pair = self._fingerprints(request)

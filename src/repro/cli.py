@@ -47,10 +47,22 @@ Commands:
   membership.
 * ``cluster {health,repair} --cluster SPEC`` — the sharded/replicated
   cluster tier (:mod:`repro.cluster`, ``docs/cluster.md``): ``health``
-  prints every replica's liveness/breaker/lease state via the wire
-  ``health`` op, ``repair`` runs one anti-entropy pass (diff replica
-  manifests, re-replicate missing records).  ``SPEC`` is
+  prints every replica's liveness/lease state via the wire ``health``
+  op plus each endpoint's circuit-breaker state (open/half-open/
+  closed, consecutive failures), ``repair`` runs one anti-entropy pass
+  (diff replica manifests, re-replicate missing records).  ``SPEC`` is
   ``shard0=h:p,h:p;shard1=...`` or ``@spec.json``.
+* ``monitor --cluster SPEC [--once|--watch] [--slo @file.json]`` — the
+  central telemetry collector (:mod:`repro.obs.collector`,
+  ``docs/observability.md``): scrape every replica's wire
+  ``telemetry`` op, merge the metric registries exactly, evaluate SLO
+  verdicts (pass/warn/fail with burn accounting) and print anomalies;
+  exits 1 while any SLO is failing.
+* ``bench {diff,show} [--against last|first] [--tolerance PCT]`` — the
+  bench-trajectory gate (:mod:`repro.obs.trajectory`): benchmarks
+  append one row per run to ``results/bench_history.jsonl``; ``diff``
+  compares each bench's newest row to its same-fingerprint baseline
+  and exits 1 on regressions beyond the tolerance.
 * ``fleet {run,sweep,report}`` — the mass-boot scenario harness
   (:mod:`repro.fleet`, ``docs/fleet.md``): boot N instances through a
   worker pool against a self-hosted cache server (``run``; with
@@ -60,6 +72,9 @@ Commands:
   (``sweep``, emitting a deterministic ``results/fleet_boot.json``
   with p50/p95/p99 time-to-steady-state and per-rank amortization
   curves), or validate and pretty-print a saved report (``report``).
+  ``--collect`` attaches the telemetry collector to the hosted
+  server(s): SLO verdicts embed in the report and the merged trace
+  gains per-server span lanes with client→server flow arrows.
 * ``lint [PATHS...] [--strict] [--json] [--rules IDS] [--no-style]``
   — run reprolint, the project-invariant static analyzer (determinism,
   lock discipline, fault-point coverage, taxonomy conformance, plus the
@@ -334,10 +349,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"{'clean' if clean else 'cut idle connection(s)'}")
         for op, entry in sorted(stats["latency"].items()):
             print(f"  {op:<9s} n={entry['count']:<5d} "
-                  f"p50={entry['p50']:.3f}ms "
-                  f"p95={entry['p95']:.3f}ms "
-                  f"p99={entry['p99']:.3f}ms")
+                  f"p50={_fmt_ms(entry['p50'])} "
+                  f"p95={_fmt_ms(entry['p95'])} "
+                  f"p99={_fmt_ms(entry['p99'])}")
     return 0
+
+
+def _fmt_ms(value) -> str:
+    """Format a latency percentile that may be None (an op counted but
+    never timed — e.g. every request failed before the observe).  The
+    JSON surface keeps the null; the human surface prints '-'."""
+    return "-" if value is None else f"{value:.3f}ms"
 
 
 def _csv_list(text, cast=str):
@@ -367,7 +389,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                  seed=args.seed, workers=args.workers, pool=args.pool,
                  hot_threshold=args.hot_threshold,
                  max_instructions=args.max_instructions,
-                 shards=args.shards, replicas=args.replicas)
+                 shards=args.shards, replicas=args.replicas,
+                 collect=args.collect)
     try:
         if args.action == "run":
             scenarios = [FleetScenario(
@@ -465,8 +488,6 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             health = entry["health"]
             if health is None:
                 state = "unreachable"
-                if entry["breaker_open"]:
-                    state += ", breaker open"
             else:
                 lease = health.get("lease") or {}
                 state = (f"{health.get('role', '?')}, "
@@ -477,9 +498,136 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                     state += (", lease held"
                               + (" (expired)" if lease.get("expired")
                                  else ""))
-            print(f"       {entry['address']:<24s} {state}")
+            breaker = f"breaker {entry.get('breaker', 'closed')}"
+            if entry.get("consecutive_failures"):
+                breaker += (f" ({entry['consecutive_failures']} "
+                            f"consecutive failure(s))")
+            print(f"       {entry['address']:<24s} {state} [{breaker}]")
         failures += not live
     return 1 if failures else 0
+
+
+def _format_monitor(snapshot: dict) -> str:
+    """Human view of one collector snapshot: targets, indicators,
+    verdicts, anomalies."""
+    lines = [f"scrape #{snapshot['scrapes']}"]
+    for key, target in snapshot["targets"].items():
+        if target["up"]:
+            state = (f"up    {target.get('role') or '?':<8s} "
+                     f"{target.get('objects', 0)} object(s)")
+            if target.get("draining"):
+                state += ", draining"
+        else:
+            state = "DOWN"
+        address = target.get("address", "")
+        lines.append(f"  {key:<20s} {state}"
+                     f"{'  @ ' + address if address else ''}")
+    lines.append("indicators:")
+    for name, value in snapshot["indicators"].items():
+        shown = "-" if value is None else f"{value:.4g}"
+        lines.append(f"  {name:<22s} {shown}")
+    lines.append("slo:")
+    for verdict in snapshot["slo"]:
+        value = verdict["value"]
+        shown = "-" if value is None else f"{value:.4g}"
+        lines.append(
+            f"  {verdict['status'].upper():<5s} {verdict['name']:<22s} "
+            f"value={shown} warn>{verdict['warn']:g} "
+            f"fail>{verdict['fail']:g} burn={verdict['burn']:g}")
+    if snapshot["anomalies"]:
+        lines.append("anomalies:")
+        lines.extend(f"  {problem}"
+                     for problem in snapshot["anomalies"])
+    else:
+        lines.append("anomalies: none")
+    return "\n".join(lines)
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.collector import ClusterCollector
+    from repro.obs.slo import load_slo_file, worst_status
+    try:
+        spec = _cluster_spec(args.cluster)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise SystemExit(f"bad --cluster spec: {error}")
+    slos = None
+    if args.slo:
+        try:
+            slos = load_slo_file(args.slo.lstrip("@"))
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"bad --slo file: {error}")
+
+    collector = ClusterCollector(spec, timeout=args.timeout,
+                                 retries=args.retries, slos=slos)
+    exit_code = 0
+    snapshot = None
+    try:
+        index = 0
+        while True:
+            if index:
+                _time.sleep(args.interval)
+            collector.scrape()
+            snapshot = collector.snapshot(canonical=False)
+            if args.json:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            else:
+                print(_format_monitor(snapshot))
+            exit_code = 1 if worst_status(snapshot["slo"]) == "fail" \
+                else 0
+            index += 1
+            if not args.watch:
+                break               # --once (the default)
+            if args.iterations and index >= args.iterations:
+                break
+    except KeyboardInterrupt:       # pragma: no cover - interactive
+        pass
+    finally:
+        collector.close()
+    if args.out and snapshot is not None:
+        from pathlib import Path
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(
+            json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"monitor snapshot written to {args.out}")
+    return exit_code
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.trajectory import (bench_diff, format_diff,
+                                      load_history)
+    try:
+        rows = load_history(args.history)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    if args.action == "show":
+        if not rows:
+            print(f"no bench history at {args.history}")
+            return 0
+        for row in rows[-args.limit:]:
+            print(json.dumps(row, sort_keys=True,
+                             separators=(",", ":")))
+        return 0
+
+    # diff: the trajectory regression gate
+    if not rows:
+        print(f"no bench history at {args.history}: nothing to "
+              f"compare (gate passes vacuously)")
+        return 0
+    try:
+        regressions, comparisons = bench_diff(
+            rows, against=args.against, tolerance=args.tolerance)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    if args.json:
+        print(json.dumps({"regressions": regressions,
+                          "comparisons": comparisons},
+                         indent=2, sort_keys=True))
+    else:
+        print(format_diff(regressions, comparisons))
+    return 1 if regressions else 0
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -731,6 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "the classic single cache server)")
     fleet.add_argument("--replicas", type=int, default=1,
                        help="replicas per shard group (default 1)")
+    fleet.add_argument("--collect", action="store_true",
+                       help="attach the telemetry collector to the "
+                            "hosted server(s): embed SLO verdicts in "
+                            "the report and server span lanes + flow "
+                            "arrows in the merged trace")
     fleet.add_argument("--workers", type=int, default=8,
                        help="worker-pool width (default 8)")
     fleet.add_argument("--pool", choices=["thread", "process"],
@@ -765,6 +918,69 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--retries", type=int, default=1,
                          help="retry budget per request (default 1)")
     cluster.set_defaults(func=cmd_cluster)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="central telemetry collector: scrape replicas, merge "
+             "metrics, evaluate SLO verdicts")
+    monitor.add_argument("--cluster", required=True,
+                         help="cluster spec: 'shard0=h:p,h:p;"
+                              "shard1=...' or @spec.json (a single "
+                              "server is 'shard0=host:port')")
+    group = monitor.add_mutually_exclusive_group()
+    group.add_argument("--once", action="store_true",
+                       help="one scrape + report (the default)")
+    group.add_argument("--watch", action="store_true",
+                       help="scrape repeatedly every --interval "
+                            "seconds")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between --watch scrapes "
+                              "(default 2.0)")
+    monitor.add_argument("--iterations", type=int, default=0,
+                         help="stop --watch after this many scrapes "
+                              "(default 0: until interrupted)")
+    monitor.add_argument("--slo", default=None,
+                         help="JSON file of SLO rule objects "
+                              "(@file.json or plain path; default: "
+                              "the built-in rules)")
+    monitor.add_argument("--timeout", type=float, default=2.0,
+                         help="per-scrape request timeout in seconds "
+                              "(default 2.0)")
+    monitor.add_argument("--retries", type=int, default=1,
+                         help="retry budget per scrape request "
+                              "(default 1)")
+    monitor.add_argument("--json", action="store_true",
+                         help="print the full operator snapshot as "
+                              "JSON instead of the table")
+    monitor.add_argument("--out", default=None,
+                         help="also write the last snapshot JSON here")
+    monitor.set_defaults(func=cmd_monitor)
+
+    bench = sub.add_parser(
+        "bench",
+        help="bench trajectory: inspect results/bench_history.jsonl "
+             "and gate on regressions")
+    bench.add_argument("action", choices=["diff", "show"],
+                       help="diff: compare each bench's newest row to "
+                            "its baseline, exit 1 on regressions; "
+                            "show: print recent history rows")
+    bench.add_argument("--history",
+                       default="results/bench_history.jsonl",
+                       help="history file (default: "
+                            "results/bench_history.jsonl)")
+    bench.add_argument("--against", default="last",
+                       choices=["last", "first"],
+                       help="baseline: previous same-fingerprint row "
+                            "(last, default) or the oldest one (first)")
+    bench.add_argument("--tolerance", type=float, default=5.0,
+                       help="allowed relative change in percent "
+                            "(default 5)")
+    bench.add_argument("--limit", type=int, default=20,
+                       help="show: print at most this many trailing "
+                            "rows (default 20)")
+    bench.add_argument("--json", action="store_true",
+                       help="diff: machine-readable comparison")
+    bench.set_defaults(func=cmd_bench)
 
     cache = sub.add_parser(
         "cache",

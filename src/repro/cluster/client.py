@@ -134,6 +134,7 @@ class ClusterRepository:
             for group in self.spec.groups}
         self._quorum_policy = quorum
         self.tracer = tracer
+        self.trace_ctx = None
         self.cluster_stats = ClusterStats()
         #: aggregated server answer for the most recent successful push
         #: (same shape as RemoteRepository.last_push; the fleet engine
@@ -146,6 +147,15 @@ class ClusterRepository:
         self.tracer = tracer
         for client in self.clients.values():
             client.bind_tracer(tracer)
+
+    def bind_trace_context(self, context) -> None:
+        """Attach a distributed-tracing root: each shard group's client
+        gets its own child lane (derived, not shared) so per-group
+        request sequence numbers cannot collide into one span id."""
+        self.trace_ctx = context
+        for name in sorted(self.clients):
+            self.clients[name].bind_trace_context(
+                context.child(f"group:{name}"))
 
     def _trace(self, name: str, **args) -> None:
         if self.tracer is not None:

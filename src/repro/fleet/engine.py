@@ -59,6 +59,8 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plane import injecting
 from repro.fleet.grid import FleetScenario
 from repro.isa.x86lite.assembler import assemble
+from repro.obs.telemetry import TraceContext
+from repro.obs.tracer import EventTracer
 from repro.persist import (TranslationRepository, capture_translations,
                            config_fingerprint, image_fingerprint)
 from repro.persist.remote import RemoteRepository
@@ -143,6 +145,8 @@ def _boot_instance(spec: Dict) -> Dict:
         remote = RemoteRepository(
             spec["address"], local=None,
             timeout=spec["timeout"], retries=spec["retries"])
+    remote.bind_trace_context(
+        TraceContext.for_boot(spec["instance_seed"], spec["rank"]))
     injector = None
     if spec["faults"]:
         injector = FaultInjector(spec["instance_seed"], spec["faults"])
@@ -236,6 +240,12 @@ class FleetResult:
     server: Dict                  # ServerStats.to_dict() snapshot
     baseline: Dict                # fault-free architected reference
     wall_ms: float = 0.0          # non-canonical (ops section only)
+    #: --collect artifacts (None on plain runs).  ``telemetry`` holds
+    #: the collector's {"canonical", "ops"} snapshot pair; the spans
+    #: and publish events feed the trace export only, never reports.
+    telemetry: Optional[Dict] = None
+    server_spans: Optional[List[Dict]] = None
+    publish_events: Optional[List[Dict]] = None
 
     @property
     def arch_ok(self) -> bool:
@@ -250,6 +260,9 @@ class FleetResult:
             "server": _strip_latency(self.server)
             if canonical else dict(self.server),
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry[
+                "canonical" if canonical else "ops"]
         if not canonical:
             doc["ops"] = {"wall_ms": self.wall_ms}
         return doc
@@ -288,6 +301,50 @@ def _strip_latency(server: Dict) -> Dict:
     reports must be byte-stable across hosts)."""
     return {key: value for key, value in server.items()
             if key != "latency"}
+
+
+class _CycleClock:
+    """Settable simulated-cycle clock for the engine's publish lane.
+
+    The engine publishes each instance's translations *after* its boot
+    finished, so the natural cycle stamp for a publish span is that
+    instance's time-to-steady-state — set by :class:`_Publisher` right
+    before each push.  Wall clocks never enter the trace.
+    """
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def __call__(self) -> float:
+        return self.value
+
+
+class _Publisher:
+    """Trace instrumentation for the engine's publish loop (--collect).
+
+    Binds a cycle-clocked :class:`EventTracer` plus a per-rank
+    ``publish`` trace lane to the push client, so every engine-side
+    ``push`` emits a ``remote.push`` slice carrying the propagated span
+    id the server's span buffer will name as its parent.
+    """
+
+    def __init__(self, scenario: FleetScenario, push_client) -> None:
+        self.scenario = scenario
+        self.client = push_client
+        self.clock = _CycleClock()
+        self.tracer = EventTracer(clock=self.clock)
+        push_client.bind_tracer(self.tracer)
+
+    def before(self, result: Dict) -> None:
+        """Stamp the next publish with its instance's steady cycle and
+        a fresh per-rank publish lane."""
+        rank = result["rank"]
+        self.clock.value = steady_state_cycle(result["trace_events"])
+        self.client.bind_trace_context(TraceContext.for_boot(
+            self.scenario.seed * 100003 + rank, rank, lane="publish"))
+
+    def events(self) -> List[Dict]:
+        return [event.to_trace_event() for event in self.tracer.events]
 
 
 class FleetEngine:
@@ -391,17 +448,23 @@ class FleetEngine:
         push_client = RemoteRepository(
             address, local=None, timeout=scenario.timeout,
             retries=scenario.retries)
+        collector, publisher = self._attach_collector(
+            scenario, f"shard0={address}", push_client)
         try:
             raw = self._boot_fleet(scenario, sources, address,
-                                   push_client)
+                                   push_client, publisher=publisher)
+            telemetry = self._collect(collector, publisher, raw,
+                                      push_client)
         finally:
             push_client.close()
             server.stop()
+            if collector is not None:
+                collector.close()
 
         instances = self._instances(raw, baseline)
         return FleetResult(scenario=scenario, instances=instances,
                            server=server.stats.to_dict(),
-                           baseline=baseline)
+                           baseline=baseline, **telemetry)
 
     def _run_cluster(self, scenario: FleetScenario, repo_root: Path,
                      sources: List[str], baseline: Dict) -> FleetResult:
@@ -420,6 +483,8 @@ class FleetEngine:
         push_client = ClusterRepository(
             spec, local=None, timeout=scenario.timeout,
             retries=scenario.retries)
+        collector, publisher = self._attach_collector(
+            scenario, spec, push_client)
         try:
             if scenario.warm:
                 staging = repo_root.parent / f"{repo_root.name}-prime"
@@ -442,16 +507,58 @@ class FleetEngine:
                     injector.mangle_repository(grid.repo_dir(*key))
             raw = self._boot_fleet(scenario, sources,
                                    spec.to_string(), push_client,
-                                   cluster=True)
+                                   cluster=True, publisher=publisher)
+            telemetry = self._collect(collector, publisher, raw,
+                                      push_client)
             server_stats = _merge_server_stats(
                 [grid.servers[key].stats.to_dict()
                  for key in sorted(grid.servers)])
         finally:
             push_client.close()
             grid.stop()
+            if collector is not None:
+                collector.close()
         instances = self._instances(raw, baseline)
         return FleetResult(scenario=scenario, instances=instances,
-                           server=server_stats, baseline=baseline)
+                           server=server_stats, baseline=baseline,
+                           **telemetry)
+
+    # -- telemetry (--collect) ----------------------------------------------
+
+    @staticmethod
+    def _attach_collector(scenario: FleetScenario, spec, push_client):
+        """Build the run's :class:`ClusterCollector` + publish-lane
+        instrumentation (both ``None`` on plain runs).  The baseline
+        scrape happens before any instance boots so the first real
+        scrape's deltas describe the fleet, not server startup."""
+        if not scenario.collect:
+            return None, None
+        from repro.obs.collector import ClusterCollector
+        collector = ClusterCollector(spec, timeout=scenario.timeout,
+                                     retries=scenario.retries)
+        collector.scrape()
+        return collector, _Publisher(scenario, push_client)
+
+    @staticmethod
+    def _collect(collector, publisher, raw: List[Dict],
+                 push_client) -> Dict:
+        """Final scrape + client-stat fold; returns the FleetResult
+        telemetry kwargs (empty on plain runs)."""
+        if collector is None:
+            return {}
+        for result in raw:
+            collector.observe_client_stats(result["remote"])
+        collector.observe_client_stats(
+            push_client.remote_stats.to_dict())
+        collector.scrape()
+        return {
+            "telemetry": {
+                "canonical": collector.snapshot(canonical=True),
+                "ops": collector.snapshot(canonical=False),
+            },
+            "server_spans": collector.span_entries(),
+            "publish_events": publisher.events(),
+        }
 
     def _instances(self, raw: List[Dict],
                    baseline: Dict) -> List[InstanceResult]:
@@ -478,7 +585,9 @@ class FleetEngine:
 
     def _boot_fleet(self, scenario: FleetScenario, sources: List[str],
                     address: str, push_client,
-                    cluster: bool = False) -> List[Dict]:
+                    cluster: bool = False,
+                    publisher: Optional[_Publisher] = None
+                    ) -> List[Dict]:
         specs = [{
             "rank": rank,
             "source": sources[rank],
@@ -496,21 +605,24 @@ class FleetEngine:
 
         if scenario.boot_policy == "one_then_others":
             first = _boot_instance(specs[0])
-            self._publish(first, push_client)
+            self._publish(first, push_client, publisher)
             rest = self._pool_boot(scenario, specs[1:])
             results = [first] + rest
             for result in rest:
-                self._publish(result, push_client)
+                self._publish(result, push_client, publisher)
         else:
             results = self._pool_boot(scenario, specs)
             for result in results:
-                self._publish(result, push_client)
+                self._publish(result, push_client, publisher)
         return results
 
     @staticmethod
-    def _publish(result: Dict, push_client) -> None:
+    def _publish(result: Dict, push_client,
+                 publisher: Optional[_Publisher] = None) -> None:
         """Push one instance's captured translations (engine-side, in
         rank order — see the determinism contract)."""
+        if publisher is not None:
+            publisher.before(result)
         push_client.save(result["records"], result["config_fp"],
                          result["image_fp"])
         push = push_client.last_push or {}

@@ -11,7 +11,15 @@ Merges every instance's tracer stream into a single Chrome/Perfetto
   that instance's steady-state cycle, plus a ``fleet.steady`` instant
   at the moment the transient ended — open the trace and the
   amortization curve is literally visible as the slices shortening
-  with rank.
+  with rank;
+* a ``--collect`` fleet additionally gets the **distributed half**:
+  the engine's publish lane (``pid = n + 1``), one lane per scraped
+  server replica (``pid = n + 2 + i`` in sorted target order) showing
+  the ``server.op`` child spans from each replica's span buffer, and
+  Perfetto **flow arrows** (``ph: "s"/"f"``) linking every client
+  ``remote.pull``/``remote.push`` slice to the server span that
+  served it — the cross-process causality the trace-context
+  propagation exists to recover (docs/observability.md).
 
 Timestamps stay on the simulated-cycle clock (every instance starts at
 cycle 0, which is exactly the mass-boot story: N machines powering on
@@ -28,6 +36,57 @@ from typing import Dict, Optional
 from repro.obs.tracer import event_track
 
 log = logging.getLogger("repro.fleet")
+
+
+def _distributed_events(events, server_spans, ranks):
+    """Server lanes + flow arrows for a ``--collect`` fleet.
+
+    ``server_spans`` are the collector's span-buffer records (already
+    tagged with their ``target`` key).  Each scraped replica gets a
+    process lane after the publish lane, every record becomes a
+    ``server.op`` slice on the server track, and whenever a record's
+    ``parent`` matches the ``span`` argument of an already-rendered
+    client slice we emit a Perfetto flow pair (``ph: "s"`` at the
+    client slice, ``ph: "f"`` at the server slice) with the server
+    span id as the flow id.
+    """
+    lanes = {target: ranks + 2 + index for index, target
+             in enumerate(sorted({span.get("target", "")
+                                  for span in server_spans}))}
+    client_slices = {}
+    for event in events:
+        span_id = (event.get("args") or {}).get("span")
+        if span_id and event.get("ph") == "X":
+            client_slices[span_id] = (event["ts"], event["pid"],
+                                      event["tid"])
+    server_track = event_track("server.op")
+    extra = []
+    for span in server_spans:
+        lane = lanes[span.get("target", "")]
+        args = {key: span[key] for key in sorted(span)
+                if key not in ("name", "ts")}
+        extra.append({
+            "name": span.get("name", "server.op"),
+            "ph": "X",
+            "ts": float(span.get("ts", 0.0)),
+            "dur": 0.0,
+            "pid": lane,
+            "tid": server_track,
+            "args": args,
+        })
+        origin = client_slices.get(span.get("parent"))
+        if origin is None:
+            continue
+        ts, pid, tid = origin
+        flow_id = span.get("span", "")
+        extra.append({"name": "remote.flow", "cat": "flow",
+                      "ph": "s", "id": flow_id, "ts": ts,
+                      "pid": pid, "tid": tid, "args": {}})
+        extra.append({"name": "remote.flow", "cat": "flow",
+                      "ph": "f", "bp": "e", "id": flow_id,
+                      "ts": float(span.get("ts", 0.0)),
+                      "pid": lane, "tid": server_track, "args": {}})
+    return extra
 
 
 def export_fleet_trace(result, metadata: Optional[Dict] = None) -> Dict:
@@ -59,6 +118,14 @@ def export_fleet_trace(result, metadata: Optional[Dict] = None) -> Dict:
             entry = dict(event)
             entry["pid"] = instance.rank + 1
             events.append(entry)
+    ranks = len(result.instances)
+    for event in getattr(result, "publish_events", None) or ():
+        entry = dict(event)
+        entry["pid"] = ranks + 1
+        events.append(entry)
+    server_spans = getattr(result, "server_spans", None) or ()
+    if server_spans:
+        events.extend(_distributed_events(events, server_spans, ranks))
     events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"],
                                e["name"]))
     return {

@@ -81,6 +81,10 @@ class FleetScenario:
     pool: str = "thread"
     timeout: float = 5.0
     retries: int = 3
+    #: attach a ClusterCollector to the hosted server(s): scrape
+    #: telemetry, embed SLO verdicts, export the distributed trace
+    #: lanes (``repro fleet --collect``; docs/observability.md)
+    collect: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 1:

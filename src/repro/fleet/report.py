@@ -97,7 +97,7 @@ def fleet_entry(result, canonical: bool = True) -> Dict:
     """One fleet's report section, from a FleetResult."""
     doc = result.to_dict(canonical=canonical)
     instances = doc["instances"]
-    return {
+    entry = {
         "scenario": doc["scenario"],
         "label": result.scenario.label(),
         "arch_ok": doc["arch_ok"],
@@ -110,6 +110,9 @@ def fleet_entry(result, canonical: bool = True) -> Dict:
         "server": doc["server"],
         "instances": instances,
     }
+    if "telemetry" in doc:
+        entry["telemetry"] = doc["telemetry"]
+    return entry
 
 
 def build_report(results, canonical: bool = True) -> Dict:

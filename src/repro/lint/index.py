@@ -163,6 +163,18 @@ class ProjectIndex:
         return self._event_types
 
     @property
+    def event_phases(self):
+        """Registered event name → Perfetto phase ('X'/'i') mapping,
+        or None if unresolvable.  Always live-imported (tests inject
+        names through ``event_types``; phase checks want the real
+        taxonomy, which injection could only weaken)."""
+        try:
+            from repro.obs.tracer import EVENT_TYPES
+        except ImportError:     # pragma: no cover - always importable
+            return None
+        return dict(EVENT_TYPES)
+
+    @property
     def fault_sites(self) -> Optional[Set[str]]:
         """Registered fault-point site strings, or None."""
         if self._fault_sites is None:

@@ -1,4 +1,4 @@
-"""OBS001-002 — taxonomy conformance for events and counters.
+"""OBS001-003 — taxonomy conformance for events, counters and spans.
 
 The observability plane is registry-driven by design: the tracer
 rejects event names outside :data:`repro.obs.tracer.EVENT_TYPES` *at
@@ -23,6 +23,17 @@ shadow counter: it bypasses the registry, so ``stats()`` and the
 metrics plane diverge — exactly the bug class PR 4 eliminated.
 Private pacing state (``self._dispatches_since_sweep``) is exempt by
 the underscore convention.
+
+**OBS003** — spans opened from a propagated trace context
+(:meth:`repro.obs.telemetry.SpanBuffer.span`) must (a) use a name
+registered in ``EVENT_TYPES`` with the slice (``"X"``) phase — span
+records become ``server.op`` slices in the merged fleet trace, and an
+unregistered name would raise at open time on whatever request first
+carries a context — and (b) be opened as a ``with``-statement context
+manager.  A bare ``.span(...)`` call never runs the generator body, so
+nothing is recorded and the span silently leaks out of the buffer;
+the close-on-all-paths guarantee (including the exception path, which
+stamps ``status: "error"``) only holds inside ``with``.
 """
 
 from __future__ import annotations
@@ -128,3 +139,42 @@ class ShadowCounterRule(Rule):
                     if isinstance(target, ast.Name):
                         declared.add(target.id)
         return declared
+
+
+@register_rule
+class SpanDisciplineRule(Rule):
+    rule_id = "OBS003"
+    title = "propagated-context span misuse"
+    rationale = ("a span opened outside 'with' never closes (its "
+                 "record is lost on every path), and a name outside "
+                 "the EVENT_TYPES slice taxonomy raises at open time")
+
+    def check_module(self, module: ModuleInfo,
+                     index: ProjectIndex) -> Iterable[Violation]:
+        if not module.package:
+            return
+        known = index.event_phases
+        with_items = {
+            id(item.context_expr)
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for call in iter_calls(module.tree):
+            receiver, func = call_target(call)
+            if func != "span" or receiver is None:
+                continue
+            name = literal_str_arg(call)
+            if name is not None and known is not None \
+                    and known.get(name) != "X":
+                yield self.violation(
+                    module, call.lineno,
+                    f"span name {name!r} is not a slice ('X') event in "
+                    f"EVENT_TYPES (repro.obs.tracer); opening it will "
+                    f"raise at runtime")
+            if id(call) not in with_items:
+                yield self.violation(
+                    module, call.lineno,
+                    f"span opened outside a 'with' statement leaks: "
+                    f"the record is never closed or buffered on any "
+                    f"path (use 'with ....span(...) as span:')")

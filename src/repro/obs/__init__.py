@@ -17,7 +17,16 @@ of a bench-only aggregate:
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON export
   and the checked-in trace schema validator;
 * :mod:`repro.obs.logutil` — the ``repro.*`` logging tree configuration
-  used by the CLI's ``--log-level`` flag.
+  used by the CLI's ``--log-level`` flag;
+* :mod:`repro.obs.telemetry` — wire-propagated trace contexts, the
+  server-side span buffer and exact pow2-snapshot merging (the
+  distributed half of tracing);
+* :mod:`repro.obs.collector` — the cluster-wide telemetry scraper
+  driving ``repro monitor`` and the fleet ``--collect`` axis;
+* :mod:`repro.obs.slo` — declarative SLO rules evaluated into
+  pass/warn/fail verdicts with burn accounting;
+* :mod:`repro.obs.trajectory` — the append-only benchmark history and
+  the ``repro bench diff`` regression gate.
 
 Tracing is off by default and the hooks are guarded (``tracer is None``
 checks on dispatch paths), so a non-traced run pays near-zero cost;
@@ -46,20 +55,43 @@ from repro.obs.export import (
     validate_trace,
 )
 from repro.obs.logutil import configure_logging
+from repro.obs.telemetry import (
+    SpanBuffer,
+    TraceContext,
+    histogram_percentile,
+    merge_histogram,
+    merge_snapshots,
+)
+from repro.obs.collector import ClusterCollector
+from repro.obs.slo import DEFAULT_SLOS, SLORule, evaluate, load_slo_file
+from repro.obs.trajectory import append_row, bench_diff, history_row
 
 __all__ = [
+    "ClusterCollector",
     "Counter",
     "CycleLedger",
+    "DEFAULT_SLOS",
     "EQ1_PHASES",
     "EventTracer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RuntimePhaseCosts",
+    "SLORule",
+    "SpanBuffer",
+    "TraceContext",
     "TraceEvent",
+    "append_row",
+    "bench_diff",
     "configure_logging",
+    "evaluate",
     "export_trace",
+    "histogram_percentile",
+    "history_row",
+    "load_slo_file",
     "load_trace_schema",
+    "merge_histogram",
+    "merge_snapshots",
     "metric_field",
     "runtime_phase_costs",
     "validate_trace",

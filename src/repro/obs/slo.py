@@ -1,0 +1,136 @@
+"""Declarative SLOs over collector indicators — pass/warn/fail with
+burn accounting.
+
+An :class:`SLORule` names one indicator the
+:class:`~repro.obs.collector.ClusterCollector` computes (p99 pull
+latency, quorum-miss rate, breaker flaps, stale-replica ratio, ...)
+and two thresholds.  Evaluation is pure arithmetic — no clocks, no
+state — so the same indicator values always produce byte-identical
+verdicts, and rules carrying wall-clock indicators are flagged
+(``wall_clock=True``) so canonical (byte-stable) documents can leave
+them out while operator output keeps them.
+
+``repro monitor --slo @rules.json`` loads a custom rule file; the
+fleet ``--collect`` axis embeds verdicts in ``results/fleet_boot.json``
+(docs/observability.md, "Distributed tracing & monitoring").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: Verdict statuses from best to worst (worst_status keys on this).
+_STATUS_ORDER = ("pass", "warn", "fail")
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One objective: ``indicator`` must stay at or below ``warn``
+    (else warn) and at or below ``fail`` (else fail)."""
+
+    name: str
+    indicator: str
+    warn: float
+    fail: float
+    wall_clock: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fail < self.warn:
+            raise ValueError(
+                f"SLO {self.name!r}: fail threshold {self.fail} below "
+                f"warn threshold {self.warn}")
+
+
+#: The default objectives for a healthy translation-cache cluster.
+#: Thresholds are deliberately loose — the point of the defaults is
+#: catching *pathology* (a flapping breaker, a replica left behind by
+#: a failed fan-out), not tuning; deployments tighten via ``--slo``.
+DEFAULT_SLOS = (
+    SLORule("pull-p99-ms", "pull_p99_ms", warn=50.0, fail=1000.0,
+            wall_clock=True,
+            description="p99 wall-clock server-side pull time"),
+    SLORule("quorum-miss-rate", "quorum_miss_rate",
+            warn=0.0, fail=0.25,
+            description="replicated pushes settling below quorum"),
+    SLORule("breaker-flaps", "breaker_flaps", warn=0.0, fail=4.0,
+            description="circuit-breaker opens + reachability flaps"),
+    SLORule("stale-replica-ratio", "stale_replica_ratio",
+            warn=0.0, fail=0.5,
+            description="replicas holding fewer objects than their "
+                        "group's best"),
+)
+
+
+def evaluate(indicators: Dict[str, Optional[float]],
+             rules: Sequence[SLORule] = DEFAULT_SLOS) -> List[Dict]:
+    """One verdict per rule, in rule order.
+
+    A missing or ``None`` indicator passes vacuously (no data is not
+    a violation — a cold cluster has no p99 yet).  ``burn`` is the
+    fraction of the fail budget consumed (1.0 = at the threshold).
+    """
+    verdicts = []
+    for rule in rules:
+        value = indicators.get(rule.indicator)
+        if value is None:
+            status, burn = "pass", 0.0
+        else:
+            value = float(value)
+            if value > rule.fail:
+                status = "fail"
+            elif value > rule.warn:
+                status = "warn"
+            else:
+                status = "pass"
+            if rule.fail > 0:
+                burn = round(value / rule.fail, 4)
+            else:
+                burn = 0.0 if value <= 0 else float("inf")
+        verdicts.append({
+            "name": rule.name,
+            "indicator": rule.indicator,
+            "value": value,
+            "warn": rule.warn,
+            "fail": rule.fail,
+            "status": status,
+            "burn": burn,
+            "wall_clock": rule.wall_clock,
+        })
+    return verdicts
+
+
+def worst_status(verdicts: Iterable[Dict]) -> str:
+    """``fail`` > ``warn`` > ``pass`` across a verdict list."""
+    worst = 0
+    for verdict in verdicts:
+        status = verdict.get("status", "pass")
+        if status in _STATUS_ORDER:
+            worst = max(worst, _STATUS_ORDER.index(status))
+    return _STATUS_ORDER[worst]
+
+
+def load_slo_file(path) -> List[SLORule]:
+    """Load rules from a JSON file: a list of SLORule field dicts."""
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, list):
+        raise ValueError(f"{path}: SLO file must hold a JSON list")
+    rules = []
+    for index, entry in enumerate(doc):
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: rule {index} is not an object")
+        try:
+            rules.append(SLORule(
+                name=entry["name"],
+                indicator=entry["indicator"],
+                warn=float(entry["warn"]),
+                fail=float(entry["fail"]),
+                wall_clock=bool(entry.get("wall_clock", False)),
+                description=str(entry.get("description", ""))))
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValueError(
+                f"{path}: rule {index} malformed: {error}") from error
+    return rules

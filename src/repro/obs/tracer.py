@@ -68,6 +68,13 @@ EVENT_TYPES: Dict[str, str] = {
     "remote.fallback": "i",
     "remote.breaker_open": "i",
     "remote.breaker_close": "i",
+    # distributed tracing (repro.obs.telemetry): client-side request
+    # slices stamped with the propagated trace context, and the
+    # server-side child span opened under it
+    "remote.pull": "X",
+    "remote.push": "X",
+    "remote.op": "X",
+    "server.op": "X",
     # shared-cache server
     "server.start": "i",
     "server.request": "i",

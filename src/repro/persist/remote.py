@@ -62,6 +62,10 @@ from repro.persist.repository import TranslationRepository
 
 log = logging.getLogger("repro.persist.remote")
 
+#: Client-side span name per wire op (EVENT_TYPES slices); ops without
+#: a dedicated lane share the generic ``remote.op`` slice.
+_SPAN_NAMES = {"pull": "remote.pull", "push": "remote.push"}
+
 
 class RemoteError(Exception):
     """A request failed for good (non-retryable or retries exhausted)."""
@@ -184,6 +188,19 @@ class CircuitBreaker:
             return True
         return False
 
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half-open`` — the operator-facing
+        name for where this breaker is in its lifecycle (``repro
+        cluster health`` prints it).  Half-open covers a cooled-down
+        breaker that is running, or would grant, its single probe."""
+        if self.opened_at is None:
+            return "closed"
+        if self._probing or \
+                self._clock() - self.opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
 
 class Endpoint:
     """One server address: its socket, circuit breaker and counters.
@@ -250,6 +267,11 @@ class RemoteRepository:
         self.backoff_cap = backoff_cap
         self.remote_stats = RemoteStats()
         self.tracer = tracer
+        #: distributed-tracing root (:class:`repro.obs.telemetry
+        #: .TraceContext`); when bound, every request derives a child
+        #: span, stamps it into the frame as ``trace_ctx``, and — with
+        #: a tracer also bound — emits the client-side request slice
+        self.trace_ctx = None
         self._sleep = sleep
         self._request_seq = 0
         #: flight-recorder dump taken at the last fallback (needs a
@@ -296,6 +318,13 @@ class RemoteRepository:
         """Attach an event tracer (``CoDesignedVM`` does this for the
         run's tracer so client degradations land in the run's trace)."""
         self.tracer = tracer
+
+    def bind_trace_context(self, context) -> None:
+        """Attach the distributed-tracing root context.  Every request
+        from then on is stamped with a per-request child span the
+        server parents its own span under; give every client its own
+        root (distinct lane/rank/group) so span ids cannot collide."""
+        self.trace_ctx = context
 
     def _trace(self, name: str, **args) -> None:
         if self.tracer is not None:
@@ -393,6 +422,15 @@ class RemoteRepository:
             raise RemoteUnavailable(
                 f"circuit breaker open for {self.address}")
         self._trace("remote.request", op=op, seq=self._request_seq)
+        span_ctx = None
+        if self.trace_ctx is not None:
+            # one child span per request (not per attempt): retries and
+            # failovers are delivery details of the same logical call,
+            # so the server-side spans they open share one parent
+            start = self.tracer.now() if self.tracer is not None else 0.0
+            span_ctx = self.trace_ctx.child(self._request_seq, ts=start)
+            payload = dict(payload)
+            payload["trace_ctx"] = span_ctx.to_wire()
         last_error: Optional[Exception] = None
         tried: List[Endpoint] = []
         for attempt in range(self.retries + 1):
@@ -444,6 +482,11 @@ class RemoteRepository:
             if ep is not pool[0]:
                 stats.failovers += 1
             stats.successes += 1
+            if span_ctx is not None and self.tracer is not None:
+                self.tracer.complete(
+                    _SPAN_NAMES.get(op, "remote.op"),
+                    start=span_ctx.ts, op=op,
+                    span=span_ctx.span_id, endpoint=ep.index)
             return response
         # exhausted: every endpoint that participated records exactly
         # one failure — per-request, per-endpoint, so a single dead
@@ -529,6 +572,9 @@ class RemoteRepository:
                 entry["health"] = {key: value
                                    for key, value in response.items()
                                    if key != "ok"}
+            # read *after* the probe so a probe that just tripped or
+            # closed the breaker shows its real state
+            entry["breaker"] = ep.breaker.state
             view.append(entry)
         return view
 

@@ -39,7 +39,7 @@ def hits(report, rule_id):
 
 def test_rule_catalog_is_complete():
     expected = {"DET001", "DET002", "DET003", "CONC001", "CONC002",
-                "FLT001", "OBS001", "OBS002", "EXC001",
+                "FLT001", "OBS001", "OBS002", "OBS003", "EXC001",
                 "F401", "E501", "W291", "W191"}
     assert expected <= set(all_rule_ids())
 
@@ -384,6 +384,53 @@ def test_obs002_ignores_classes_off_the_metrics_plane():
     source = _SHADOW.replace(
         "    dispatches = metric_field(\"dispatches\")\n\n", "")
     report = lint_one("src/repro/vmm/rt2.py", source, "OBS002")
+    assert report.ok
+
+
+# -- OBS003: propagated-context span discipline ----------------------------------
+# (span phases resolve from the *live* EVENT_TYPES taxonomy — the
+# injected event_types registry carries names only, not phases)
+
+
+def test_obs003_flags_span_outside_with():
+    source = ("def handle(self, ctx):\n"
+              "    self.spans.span(\"server.op\", ctx)\n")
+    report = lint_one("src/repro/cacheserver/handlers2.py", source,
+                      "OBS003")
+    found = hits(report, "OBS003")
+    assert len(found) == 1
+    assert "with" in found[0].message
+
+
+def test_obs003_flags_non_slice_span_name():
+    source = ("def handle(self, ctx):\n"
+              "    with self.spans.span(\"server.request\", ctx):\n"
+              "        pass\n")
+    report = lint_one("src/repro/cacheserver/handlers2.py", source,
+                      "OBS003")
+    found = hits(report, "OBS003")
+    assert len(found) == 1
+    assert "server.request" in found[0].message
+
+
+def test_obs003_with_statement_slice_name_is_clean():
+    source = ("def handle(self, ctx):\n"
+              "    with self.spans.span(\"server.op\", ctx) as span:\n"
+              "        span[\"status\"] = \"ok\"\n")
+    report = lint_one("src/repro/cacheserver/handlers2.py", source,
+                      "OBS003")
+    assert report.ok
+
+
+def test_obs003_dynamic_names_and_other_span_calls_are_skipped():
+    # a dynamic name is runtime-checked; a bare span() function (no
+    # receiver) is not the SpanBuffer API
+    source = ("def handle(self, ctx, name):\n"
+              "    with self.spans.span(name, ctx):\n"
+              "        pass\n"
+              "    span(\"server.request\")\n")
+    report = lint_one("src/repro/cacheserver/handlers2.py", source,
+                      "OBS003")
     assert report.ok
 
 

@@ -12,7 +12,12 @@ repository and run again.  The gate fails unless
   corrupt, or verifier-rejected);
 * both runs produce identical architected output;
 * the timing model agrees: the PERSISTENT_WARM startup scenario costs
-  measurably fewer cycles than MEMORY_STARTUP for the software VM.
+  measurably fewer cycles than MEMORY_STARTUP for the software VM;
+* the bench trajectory holds: this run's scalar metrics are appended
+  to ``results/bench_history.jsonl`` and compared against the previous
+  same-fingerprint row (:mod:`repro.obs.trajectory`) — the gate fails
+  on any regression beyond the tolerance, so a PR that silently slows
+  warm starts trips here, not three PRs later.
 
 Run directly (``python tools/bench_smoke.py``) or via ``make verify``.
 """
@@ -29,6 +34,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
 from repro.core.config import vm_soft                    # noqa: E402
 from repro.core.vm import CoDesignedVM                   # noqa: E402
 from repro.isa.x86lite.assembler import assemble         # noqa: E402
+from repro.obs.trajectory import (append_row, bench_diff,  # noqa: E402
+                                  format_diff, history_row,
+                                  load_history)
 from repro.persist import TranslationRepository          # noqa: E402
 from repro.timing.scenarios import Scenario              # noqa: E402
 from repro.timing.startup_sim import simulate_startup    # noqa: E402
@@ -37,6 +45,10 @@ from repro.workloads.trace import generate_workload      # noqa: E402
 from repro.workloads.winstone import winstone_suite      # noqa: E402
 
 HOT_THRESHOLD = 50
+TIMING_INSTRS = 20_000_000
+
+#: scalar metrics of this run, appended to the bench history
+METRICS: dict = {}
 
 
 def check_functional(cache_dir: str) -> int:
@@ -74,13 +86,17 @@ def check_functional(cache_dir: str) -> int:
               f"sbt={cold.superblocks_translated:2d} | "
               f"loaded={load.loaded:3d} dropped={load.dropped} | "
               f"warm bbt={warm.blocks_translated} ... {status}")
+        METRICS[f"{name}.cold_bbt"] = cold.blocks_translated
+        METRICS[f"{name}.cold_sbt"] = cold.superblocks_translated
+        METRICS[f"{name}.warm_loaded"] = load.loaded
+        METRICS[f"{name}.warm_bbt"] = warm.blocks_translated
         failures += bool(problems)
     return failures
 
 
 def check_timing() -> int:
     app = winstone_suite()[0]
-    workload = generate_workload(app, dyn_instrs=20_000_000, seed=0)
+    workload = generate_workload(app, dyn_instrs=TIMING_INSTRS, seed=0)
     cold = simulate_startup(vm_soft(), workload,
                             Scenario.MEMORY_STARTUP)
     warm = simulate_startup(vm_soft(), workload,
@@ -90,7 +106,23 @@ def check_timing() -> int:
           f"cold {cold.total_cycles / 1e6:.1f}M cycles, "
           f"warm {warm.total_cycles / 1e6:.1f}M cycles "
           f"... {'ok' if ok else 'FAIL: warm not faster'}")
+    METRICS["timing.cold_cycles"] = cold.total_cycles
+    METRICS["timing.warm_cycles"] = warm.total_cycles
     return 0 if ok else 1
+
+
+def check_trajectory() -> int:
+    """Append this run's metrics to the bench history and gate on
+    drift against the previous same-fingerprint row."""
+    append_row(history_row("bench_smoke", METRICS, {
+        "hot_threshold": HOT_THRESHOLD,
+        "timing_instrs": TIMING_INSTRS,
+        "seed": 0,
+    }))
+    regressions, comparisons = bench_diff(load_history())
+    print("\nbench trajectory (results/bench_history.jsonl):")
+    print(format_diff(regressions, comparisons))
+    return 1 if regressions else 0
 
 
 def main() -> int:
@@ -99,6 +131,7 @@ def main() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as tmp:
         failures = check_functional(tmp)
     failures += check_timing()
+    failures += check_trajectory()
     print("=" * 60)
     if failures:
         print(f"bench-smoke: {failures} failure(s)")

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Telemetry smoke gate (the ``make monitor-smoke`` target).
+
+Executable claims from ``docs/observability.md``, on one ``--collect``
+fleet over a live 3x2 sharded cluster:
+
+1. **Trace context propagates across the wire**: in the merged
+   Perfetto trace, every client ``remote.pull``/``remote.push`` slice
+   carries a flow link (``ph: "s"``/``"f"`` pair) to the server span
+   that served it, and every scraped server span names a client span
+   as its parent.  The trace passes the checked-in schema validator.
+2. **The collector snapshot is canonical**: running the same collect
+   scenario twice yields byte-identical canonical telemetry — with
+   SLO verdicts embedded in the fleet report — and the canonical
+   bytes carry no wall-clock material at all.
+3. **The CLI surfaces work end to end**: ``repro fleet run --collect``
+   embeds verdicts in its report and flows in its trace;
+   ``repro monitor --once`` scrapes a live cluster, prints verdicts
+   and exits 0 while SLOs hold, 1 when a custom rule file fails.
+
+Run directly (``python tools/monitor_smoke.py``) or via
+``make monitor-smoke`` / ``make verify``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.cli import main as repro_main                 # noqa: E402
+from repro.cluster.manager import LocalCluster           # noqa: E402
+from repro.fleet import (                                # noqa: E402
+    FleetEngine,
+    FleetScenario,
+    build_report,
+    export_fleet_trace,
+    serialize_report,
+    validate_report,
+)
+from repro.obs.export import validate_trace              # noqa: E402
+
+SCENARIO = dict(n=6, boot_policy="one_then_others", shards=3,
+                replicas=2, collect=True, workers=3, seed=0)
+
+
+def fail(message: str) -> int:
+    print(f"MONITOR SMOKE FAIL: {message}")
+    return 1
+
+
+def check_flow_links(trace: dict) -> str:
+    """Every client pull/push slice must flow-link to the server span
+    that served it; every server span must name a client parent."""
+    events = trace["traceEvents"]
+    client = [e for e in events
+              if e["name"] in ("remote.pull", "remote.push")
+              and e["ph"] == "X"]
+    if not client:
+        return "no client pull/push spans in the merged trace"
+    server = {e["args"]["span"]: e["args"] for e in events
+              if e["name"] == "server.op" and e["ph"] == "X"}
+    if not server:
+        return "no server span lanes in the merged trace"
+    starts = {}
+    for event in events:
+        if event.get("ph") == "s":
+            starts.setdefault(
+                (event["ts"], event["pid"], event["tid"]),
+                []).append(event["id"])
+    finishes = {e["id"] for e in events if e.get("ph") == "f"}
+    served = {args["parent"] for args in server.values()}
+    for slice_ in client:
+        span_id = slice_["args"].get("span")
+        if span_id not in served:
+            return (f"client span {span_id} ({slice_['name']}) has no "
+                    f"server span naming it as parent")
+        flow_ids = starts.get(
+            (slice_["ts"], slice_["pid"], slice_["tid"]), [])
+        linked = [fid for fid in flow_ids
+                  if fid in finishes and fid in server
+                  and server[fid]["parent"] == span_id]
+        if not linked:
+            return (f"client span {span_id} ({slice_['name']}) carries "
+                    f"no s/f flow pair to its server span")
+    # other ops (manifest, lease, ...) emit remote.op slices — any
+    # client-side slice with a span id is a legal parent
+    client_ids = {e["args"]["span"] for e in events
+                  if e["ph"] == "X" and e.get("args", {}).get("span")
+                  and e["name"] != "server.op"}
+    orphans = sorted(parent for parent in served
+                     if parent not in client_ids)
+    if orphans:
+        return f"server spans with unknown parents: {orphans[:3]}"
+    return ""
+
+
+def check_fleet_collect() -> int:
+    scenario = FleetScenario(**SCENARIO)
+    first = FleetEngine().run(scenario)
+    if not first.arch_ok:
+        return fail("collect fleet lost architected equality")
+
+    report = build_report([first])
+    problems = validate_report(report)
+    if problems:
+        return fail(f"collect report invalid: {problems}")
+    entry = report["fleets"][0]
+    telemetry = entry.get("telemetry")
+    if not telemetry:
+        return fail("no telemetry section in the collect report")
+    verdicts = telemetry.get("slo") or []
+    if not verdicts:
+        return fail("no SLO verdicts embedded in the report")
+    bad = [v["name"] for v in verdicts if v["status"] != "pass"]
+    if bad:
+        return fail(f"SLO verdicts not passing on a healthy fleet: "
+                    f"{bad}")
+    text = serialize_report(report)
+    for word in ("latency", "wall_ms"):
+        if word in text:
+            return fail(f"canonical collect report leaks wall-clock "
+                        f"material ({word!r})")
+    print(f"SLO verdicts embedded and passing: "
+          f"{[v['name'] for v in verdicts]}")
+
+    trace = export_fleet_trace(first)
+    problems = validate_trace(trace)
+    if problems:
+        return fail(f"merged trace invalid: {problems[:3]}")
+    problem = check_flow_links(trace)
+    if problem:
+        return fail(problem)
+    flows = sum(1 for e in trace["traceEvents"] if e.get("ph") == "f")
+    print(f"every client pull/push span flow-links to its server span "
+          f"({flows} flow arrow(s))")
+
+    second = FleetEngine().run(scenario)
+    if serialize_report(build_report([second])) != text:
+        return fail("same-seed collect reports are not byte-identical")
+    a = json.dumps(first.telemetry["canonical"], sort_keys=True)
+    b = json.dumps(second.telemetry["canonical"], sort_keys=True)
+    if a != b:
+        return fail("canonical collector snapshots differ across runs")
+    print("same-seed collect reports and snapshots byte-identical")
+    return 0
+
+
+def check_cli(tmp: pathlib.Path) -> int:
+    report_path = tmp / "fleet_collect.json"
+    trace_path = tmp / "fleet_collect_trace.json"
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = repro_main([
+            "fleet", "run", "--n", "2", "--collect", "--workers", "2",
+            "--out", str(report_path), "--trace-out", str(trace_path)])
+    if code != 0:
+        return fail(f"repro fleet run --collect exited {code}:\n"
+                    f"{buffer.getvalue()}")
+    report = json.loads(report_path.read_text())
+    if "telemetry" not in report["fleets"][0]:
+        return fail("CLI --collect report has no telemetry section")
+    trace = json.loads(trace_path.read_text())
+    if validate_trace(trace):
+        return fail("CLI --collect trace invalid")
+    problem = check_flow_links(trace)
+    if problem:
+        return fail(f"CLI --collect trace: {problem}")
+    print("repro fleet run --collect embeds verdicts and flow arrows")
+
+    grid = LocalCluster(tmp / "cluster", shards=3, replicas=2)
+    spec = grid.start()
+    try:
+        with contextlib.redirect_stdout(buffer):
+            code = repro_main(["monitor", "--cluster", spec.to_string(),
+                               "--once"])
+        if code != 0:
+            return fail(f"repro monitor --once exited {code}")
+        with contextlib.redirect_stdout(io.StringIO()) as out:
+            code = repro_main(["monitor", "--cluster", spec.to_string(),
+                               "--once", "--json"])
+        snapshot = json.loads(out.getvalue())
+        if code != 0 or snapshot["scrapes"] != 1:
+            return fail("repro monitor --json did not round-trip")
+
+        # a rule that cannot hold (fail bound below the observed 0.0)
+        slo_path = tmp / "slo.json"
+        slo_path.write_text(json.dumps([{
+            "name": "always-red", "indicator": "breaker_flaps",
+            "warn": -1.0, "fail": -0.5}]))
+        with contextlib.redirect_stdout(io.StringIO()):
+            code = repro_main(["monitor", "--cluster", spec.to_string(),
+                               "--once", "--slo", str(slo_path)])
+        if code != 1:
+            return fail(f"failing SLO exited {code}, wanted 1")
+    finally:
+        grid.stop()
+    print("repro monitor: verdicts printed, exit codes track SLO "
+          "status")
+    return 0
+
+
+def main() -> int:
+    failures = check_fleet_collect()
+    if failures:
+        return failures
+    with tempfile.TemporaryDirectory(prefix="repro-monitor-") as tmp:
+        failures = check_cli(pathlib.Path(tmp))
+    if failures:
+        return failures
+    print("monitor smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
