@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke examples figures clean
+.PHONY: install test lint lint-strict verify bench bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke overload-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,7 +39,7 @@ lint-strict:
 # TranslationDirectory.install; see docs/verifier.md), plus the
 # warm-start smoke gate, the seeded chaos gate and the observability
 # smoke gate.
-verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke
+verify: lint lint-strict bench-smoke chaos trace-smoke serve-smoke fleet-smoke cluster-smoke monitor-smoke overload-smoke
 	REPRO_VERIFY=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/
 
 bench:
@@ -96,6 +96,15 @@ cluster-smoke:
 # same cluster end to end (docs/observability.md).
 monitor-smoke:
 	$(PYTHON) tools/monitor_smoke.py
+
+# Overload-protection gate: a 16-boot cold herd through a deliberately
+# undersized server must shed (retryable 'overloaded' + retry_after),
+# keep retry amplification at or under the 2x budget target, accept no
+# response past its deadline, and byte-match the fault-free architected
+# state; a forced hedge drill through a live 1x2 cluster must win on
+# the sibling replica (docs/overload.md).
+overload-smoke:
+	$(PYTHON) tools/overload_smoke.py
 
 # Run every example script end to end.
 examples:

@@ -13,8 +13,12 @@ the same envelope.
 Requests are ``{"op": <name>, ...}``; responses are
 ``{"ok": true, ...}`` or ``{"ok": false, "error": <category>,
 "detail": <text>}``.  Error categories are machine-matchable (the
-client's retry policy keys on them): ``lease-busy`` is retryable,
-``bad-request`` / ``internal`` are not.
+client's retry policy keys on them): ``lease-busy``, ``busy`` and
+``overloaded`` are retryable, ``bad-request`` / ``internal`` /
+``deadline-exceeded`` are not.  An ``overloaded`` response may carry a
+``retry_after`` field — seconds the shedding server asks the client to
+wait before retrying (docs/overload.md); clients honor it
+deterministically.
 
 Operations (see ``docs/cache_server.md`` for the full matrix):
 
@@ -47,6 +51,14 @@ Any request may carry a ``"trace_ctx"`` field — a
 a child span under it for the duration of the handler; malformed or
 unknown-version contexts are ignored (the request still runs).
 
+Any request may also carry a ``"deadline_ms"`` field — the whole
+milliseconds of request budget the client has left
+(:class:`repro.persist.deadline.Deadline`).  It is *relative*, so no
+cross-host clock comparison is involved.  A server receiving
+``deadline_ms <= 0``, or estimating (from its own latency histograms)
+that serving would outlive the budget, answers ``deadline-exceeded``
+instead of doing dead work; malformed values are ignored.
+
 This module is socket-free on purpose: everything here is pure
 bytes <-> dict, so the client, the server and the tests share one
 codec and the fault plane can corrupt payloads in a type-safe way.
@@ -71,9 +83,17 @@ MAX_PAYLOAD = 64 * 1024 * 1024
 #: Error categories a server may return; the client retries only these.
 #: ``lease-busy`` is writer-lease contention; ``busy`` is the
 #: connection-admission guard (``--max-conns`` backpressure or a
-#: draining server) — both clear on their own, so backing off and
-#: retrying is correct where any other error is final.
-RETRYABLE_ERRORS = frozenset({"lease-busy", "busy"})
+#: draining server); ``overloaded`` is load shedding (queue-depth /
+#: service-time admission control, docs/overload.md) — all three clear
+#: on their own, so backing off and retrying is correct where any
+#: other error is final.  ``bad-request`` means the *request* is
+#: defective and ``deadline-exceeded`` means its budget is already
+#: spent — retrying either only amplifies load.
+RETRYABLE_ERRORS = frozenset({"lease-busy", "busy", "overloaded"})
+
+#: Categories that indict the request, not the server: fail fast, do
+#: not penalize the endpoint's circuit breaker, keep the connection.
+CLIENT_FAULT_ERRORS = frozenset({"bad-request", "deadline-exceeded"})
 
 
 class ProtocolError(Exception):

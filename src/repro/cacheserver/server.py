@@ -32,7 +32,17 @@ Design points:
   threads, and :meth:`CacheServer.drain` (the ``repro serve``
   SIGTERM/SIGINT path) finishes in-flight requests — releasing any
   held writer lease — before closing, so mass-boot fleets shut down
-  cleanly.
+  cleanly;
+* **admission control and load shedding** (docs/overload.md):
+  ``max_queue_depth`` bounds concurrently *dispatching* requests; an
+  excess store op answers a retryable ``overloaded`` error carrying a
+  deterministic ``retry_after`` pacing hint instead of queueing
+  without bound.  Requests arriving with a spent ``deadline_ms``
+  budget — or whose estimated service time (the op's own p95 latency
+  histogram) exceeds the budget — answer ``deadline-exceeded``
+  instead of doing work nobody will consume.  Observability ops
+  (ping/health/telemetry/stats) are never shed, so operators can see
+  *into* an overloaded server.
 
 The server is deliberately dumb about *correctness* of translations —
 every client re-fingerprints sources and re-screens records through
@@ -67,6 +77,15 @@ log = logging.getLogger("repro.cacheserver")
 #: Latency percentiles the stats op / fleet report surface.
 _LATENCY_PERCENTILES = (50, 95, 99)
 
+#: Store ops subject to queue-depth shedding.  Observability ops stay
+#: admissible under overload on purpose — shedding the telemetry
+#: scrape would blind the monitor exactly when it matters most.
+_SHEDDABLE_OPS = frozenset({"pull", "push", "manifest"})
+
+#: Minimum latency-histogram samples before the estimated-service-time
+#: admission check trusts the p95 (cold histograms reject nothing).
+_SERVICE_EST_MIN_SAMPLES = 32
+
 
 class ServerStats:
     """Thread-safe request counters + per-op latency histograms.
@@ -90,6 +109,8 @@ class ServerStats:
     objects_deduped = metric_field("server_objects_deduped")
     records_rejected = metric_field("server_records_rejected")
     lease_busy = metric_field("server_lease_busy")
+    requests_shed = metric_field("server_requests_shed")
+    deadline_rejected = metric_field("server_deadline_rejected")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -102,6 +123,8 @@ class ServerStats:
         self.objects_deduped = 0
         self.records_rejected = 0
         self.lease_busy = 0
+        self.requests_shed = 0
+        self.deadline_rejected = 0
 
     def count(self, attr: str, amount: int = 1) -> None:
         with self._lock:
@@ -115,6 +138,20 @@ class ServerStats:
         with self._lock:
             self.metrics.histogram("server_op_latency_ms",
                                    op=op).observe(ms)
+
+    def latency_percentile(self, op: str, q: int,
+                           min_count: int = 1) -> Optional[float]:
+        """The op's latency percentile in ms, or None before
+        ``min_count`` samples exist (admission control reads the p95
+        as its service-time estimate)."""
+        with self._lock:
+            for series in self.metrics:
+                if series.name == "server_op_latency_ms" \
+                        and series.labels.get("op") == op:
+                    if series.count >= min_count:
+                        return series.percentile(q)
+                    return None
+        return None
 
     def registry_snapshot(self) -> Dict:
         """The full flat metrics snapshot the wire ``telemetry`` op
@@ -158,6 +195,8 @@ class ServerStats:
                 "objects_deduped": self.objects_deduped,
                 "records_rejected": self.records_rejected,
                 "lease_busy": self.lease_busy,
+                "requests_shed": self.requests_shed,
+                "deadline_rejected": self.deadline_rejected,
                 "latency": self._latency(),
             }
 
@@ -238,7 +277,9 @@ class CacheServer:
                  connection_timeout: float = 30.0,
                  max_conns: Optional[int] = None,
                  shard_id: str = "", role: str = "primary",
-                 span_capacity: int = SPAN_BUFFER_CAPACITY) -> None:
+                 span_capacity: int = SPAN_BUFFER_CAPACITY,
+                 max_queue_depth: Optional[int] = None,
+                 shed_retry_after: float = 0.05) -> None:
         if isinstance(repository, TranslationRepository):
             self.repository = repository
         else:
@@ -258,6 +299,13 @@ class CacheServer:
         #: excess clients get a retryable ``busy`` error instead of an
         #: unbounded handler-thread pile-up
         self.max_conns = max_conns
+        #: admission bound on concurrently *dispatching* store requests
+        #: (None = unlimited); an excess pull/push/manifest answers the
+        #: retryable ``overloaded`` error with a ``retry_after`` hint
+        #: of ``shed_retry_after`` seconds per excess request — a
+        #: deterministic, depth-proportional pacing signal
+        self.max_queue_depth = max_queue_depth
+        self.shed_retry_after = shed_retry_after
         self.stats = ServerStats()
         #: bounded buffer of spans opened under propagated trace
         #: contexts; the wire ``telemetry`` op ships it to collectors
@@ -268,6 +316,9 @@ class CacheServer:
         #: check below cannot be confused by a sibling handler thread
         self._push_lock = threading.Lock()
         self._trace_lock = threading.Lock()
+        #: guards the dispatch-depth gauge the shed check reads
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
         #: guards the connection-admission state below (and doubles as
         #: the condition drain() waits on)
         self._conn_lock = threading.Condition()
@@ -446,6 +497,60 @@ class CacheServer:
 
     # -- request dispatch ---------------------------------------------------
 
+    def _admission_check(self, op: str, request: Dict,
+                         depth: int) -> Optional[Dict]:
+        """Admission control (docs/overload.md); an error response to
+        send instead of dispatching, or None to admit.
+
+        Two independent guards: (1) work whose ``deadline_ms`` budget
+        is spent — or would be spent by this op's estimated service
+        time (own p95) — answers the *non*-retryable
+        ``deadline-exceeded``, because retrying a dead request only
+        amplifies load; (2) store ops past ``max_queue_depth`` answer
+        the *retryable* ``overloaded`` with a deterministic
+        depth-proportional ``retry_after`` pacing hint.
+        """
+        deadline_ms = request.get("deadline_ms")
+        if isinstance(deadline_ms, bool) or \
+                not isinstance(deadline_ms, (int, float)):
+            deadline_ms = None          # malformed/absent: ignored
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                self.stats.count("deadline_rejected")
+                self._trace("server.deadline", op=op,
+                            deadline_ms=deadline_ms, stage="expired")
+                return protocol.error(
+                    "deadline-exceeded",
+                    f"request budget already spent "
+                    f"({deadline_ms} ms remaining)")
+            estimate = self.stats.latency_percentile(
+                op, 95, min_count=_SERVICE_EST_MIN_SAMPLES)
+            if estimate is not None and estimate > deadline_ms:
+                self.stats.count("deadline_rejected")
+                self._trace("server.deadline", op=op,
+                            deadline_ms=deadline_ms,
+                            estimate_ms=estimate, stage="estimate")
+                return protocol.error(
+                    "deadline-exceeded",
+                    f"estimated {op} service time {estimate:.1f} ms "
+                    f"exceeds the {deadline_ms} ms budget")
+        if self.max_queue_depth is not None \
+                and op in _SHEDDABLE_OPS \
+                and depth > self.max_queue_depth:
+            excess = depth - self.max_queue_depth
+            retry_after = round(self.shed_retry_after * excess, 6)
+            self.stats.count("requests_shed")
+            self._trace("server.shed", op=op, depth=depth,
+                        bound=self.max_queue_depth,
+                        retry_after=retry_after)
+            response = protocol.error(
+                "overloaded",
+                f"queue depth {depth} over bound "
+                f"{self.max_queue_depth}")
+            response["retry_after"] = retry_after
+            return response
+        return None
+
     def dispatch(self, request: Dict) -> Dict:
         op = request.get("op")
         handler = getattr(self, f"_op_{op}", None) \
@@ -461,7 +566,13 @@ class CacheServer:
         # response or handler exception marks it ``error``
         context = TraceContext.from_wire(request.get("trace_ctx"))
         started = time.perf_counter()
+        with self._inflight_lock:
+            self._inflight += 1
+            depth = self._inflight
         try:
+            shed = self._admission_check(op, request, depth)
+            if shed is not None:
+                return shed
             if context is None:
                 return handler(request)
             with self.spans.span("server.op", context, op=op,
@@ -478,6 +589,8 @@ class CacheServer:
             return protocol.error(
                 "internal", f"{type(error).__name__}: {error}")
         finally:
+            with self._inflight_lock:
+                self._inflight -= 1
             self.stats.observe_latency(
                 op, (time.perf_counter() - started) * 1000.0)
 

@@ -313,6 +313,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = CacheServer(args.cache_dir, socket_path=args.socket,
                          host=args.host, port=args.port,
                          max_conns=args.max_conns,
+                         max_queue_depth=args.max_queue_depth,
+                         shed_retry_after=args.shed_retry_after,
                          shard_id=args.shard_id, role=args.role)
     address = server.start()
     print(f"serving translation cache {args.cache_dir} on {address}",
@@ -390,6 +392,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                  hot_threshold=args.hot_threshold,
                  max_instructions=args.max_instructions,
                  shards=args.shards, replicas=args.replicas,
+                 request_budget=args.request_budget,
+                 max_queue_depth=args.max_queue_depth,
                  collect=args.collect)
     try:
         if args.action == "run":
@@ -831,6 +835,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reject connections beyond this many "
                             "concurrent clients with a retryable "
                             "'busy' error (default: unlimited)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="shed store ops (retryable 'overloaded' "
+                            "with a retry_after hint) once this many "
+                            "requests are dispatching concurrently "
+                            "(default: unlimited; docs/overload.md)")
+    serve.add_argument("--shed-retry-after", type=float, default=0.05,
+                       help="base client backoff hint (seconds) "
+                            "attached to shed responses, scaled by "
+                            "queue excess (default 0.05)")
     serve.add_argument("--shard-id", default="",
                        help="cluster shard group this server belongs "
                             "to (reported by the health op)")
@@ -884,6 +897,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "hosted server(s): embed SLO verdicts in "
                             "the report and server span lanes + flow "
                             "arrows in the merged trace")
+    fleet.add_argument("--request-budget", type=float, default=8.0,
+                       help="per-request deadline budget (seconds) "
+                            "each instance's client spends across "
+                            "retries and failovers (docs/overload.md)")
+    fleet.add_argument("--max-queue-depth", type=int, default=None,
+                       help="server-side admission bound: shed store "
+                            "ops past this many concurrent dispatches "
+                            "(default: unlimited)")
     fleet.add_argument("--workers", type=int, default=8,
                        help="worker-pool width (default 8)")
     fleet.add_argument("--pool", choices=["thread", "process"],

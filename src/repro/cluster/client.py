@@ -16,7 +16,14 @@ without ever raising into the VM.  Concretely:
   healthy replica (stale answers are discarded and the next replica
   tried) and union the records by content key — a deterministic,
   sorted union, so any subset of healthy groups produces a prefix of
-  the same warm-start set;
+  the same warm-start set.  Pulls are *hedged* (docs/overload.md):
+  once a group's own pow2 latency histogram has warmed up, the primary
+  replica gets a single attempt bounded by a deterministic threshold
+  (``max(hedge_floor, 2 x p99)``), and a slow or failed primary is
+  abandoned in favor of a hedge request to the sibling replicas —
+  first valid answer wins, counted in ``hedges``/``hedge_wins``.  The
+  whole group pull (primary probe + hedge + stale failovers) spends
+  one shared deadline budget;
 * **writes** partition records by ring group and fan out to *every*
   replica of the group with ``merge=true`` pushes (the server unions
   manifest entries, so concurrent writers and repair passes compose),
@@ -45,10 +52,19 @@ from typing import Dict, List, Optional
 
 from repro.cluster.topology import ClusterSpec
 from repro.faults.plane import fault_point
+from repro.obs.metrics import MetricsRegistry
+from repro.persist.deadline import Deadline
 from repro.persist.remote import RemoteError, RemoteRepository, RemoteStats
 from repro.persist.repository import TranslationRepository
 
 log = logging.getLogger("repro.cluster")
+
+#: Samples a group's pull-latency histogram needs before the hedge
+#: threshold trusts its p99.  Short-lived clients (one boot pulls each
+#: group about once) never warm up and keep the plain un-hedged path,
+#: so per-boot byte-determinism is untouched; long-lived clients start
+#: hedging once they have real latency evidence.
+HEDGE_MIN_SAMPLES = 8
 
 
 @dataclass
@@ -76,6 +92,10 @@ class ClusterStats:
     quorum_misses: int = 0
     #: a replicated write acked by zero replicas of a group
     push_group_failures: int = 0
+    #: hedge requests issued (primary slow/failed past the threshold)
+    hedges: int = 0
+    #: hedges whose sibling replica answered first (won the race)
+    hedge_wins: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -105,9 +125,15 @@ class ClusterRepository:
     :class:`TranslationRepository`; optional).  ``quorum`` is the
     per-group write-ack target: ``"majority"`` (default), ``"all"``,
     or an int.  The remaining knobs are handed to each group's
-    :class:`RemoteRepository` unchanged, so timeouts, retry budgets,
-    breaker thresholds and the injectable ``sleep``/``clock`` behave
-    exactly like the single-server client.
+    :class:`RemoteRepository` unchanged, so timeouts, deadline budgets,
+    retry budgets, breaker thresholds and the injectable
+    ``sleep``/``clock`` behave exactly like the single-server client.
+
+    Hedging knobs (docs/overload.md): ``hedge_threshold`` pins the
+    primary-probe latency bound in seconds; the default (None) derives
+    it per group as ``max(hedge_floor, 2 x pull p99)`` from the
+    client's own pow2 latency histogram once :data:`HEDGE_MIN_SAMPLES`
+    pulls have been observed (before that, pulls run un-hedged).
     """
 
     def __init__(self, spec, local=None, quorum="majority",
@@ -116,7 +142,11 @@ class ClusterRepository:
                  breaker_threshold: int = 4,
                  breaker_cooldown: float = 1.0,
                  tracer=None, sleep=time.sleep,
-                 clock=time.monotonic) -> None:
+                 clock=time.monotonic,
+                 request_budget: float = 8.0,
+                 jitter_seed: int = 0,
+                 hedge_threshold: Optional[float] = None,
+                 hedge_floor: float = 0.05) -> None:
         self.spec = ClusterSpec.parse(spec)
         self.ring = self.spec.ring()
         if local is None or isinstance(local, TranslationRepository):
@@ -130,12 +160,21 @@ class ClusterRepository:
                 backoff_cap=backoff_cap,
                 breaker_threshold=breaker_threshold,
                 breaker_cooldown=breaker_cooldown, tracer=tracer,
-                sleep=sleep, clock=clock, name=group.name)
+                sleep=sleep, clock=clock, name=group.name,
+                request_budget=request_budget,
+                jitter_seed=jitter_seed)
             for group in self.spec.groups}
         self._quorum_policy = quorum
         self.tracer = tracer
         self.trace_ctx = None
         self.cluster_stats = ClusterStats()
+        self._clock = clock
+        self.request_budget = request_budget
+        self.hedge_threshold = hedge_threshold
+        self.hedge_floor = hedge_floor
+        #: per-group pull-latency pow2 histograms feeding the hedge
+        #: threshold (client-private; not part of canonical snapshots)
+        self._latency = MetricsRegistry()
         #: aggregated server answer for the most recent successful push
         #: (same shape as RemoteRepository.last_push; the fleet engine
         #: reads dedup-amortization curves from this)
@@ -186,14 +225,102 @@ class ClusterRepository:
 
     # -- reads ---------------------------------------------------------------
 
+    def _group_hedge_threshold(self, group: str) -> Optional[float]:
+        """The group's primary-probe latency bound in seconds, or None
+        while the histogram is still cold (un-hedged pulls).
+
+        Deterministically derived: an explicit ``hedge_threshold``
+        wins; otherwise ``max(hedge_floor, 2 x p99)`` of this client's
+        own observed pull latencies for the group.
+        """
+        if self.hedge_threshold is not None:
+            return self.hedge_threshold
+        for series in self._latency:
+            if series.name == "cluster_pull_ms" \
+                    and series.labels.get("group") == group:
+                if series.count >= HEDGE_MIN_SAMPLES:
+                    return max(self.hedge_floor,
+                               2.0 * series.percentile(99) / 1000.0)
+                return None
+        return None
+
+    def _observe_pull(self, group: str, started: float) -> None:
+        self._latency.histogram("cluster_pull_ms", group=group).observe(
+            (self._clock() - started) * 1000.0)
+
+    def _hedged_pull(self, group: str, payload: Dict,
+                     deadline: Deadline) -> Dict:
+        """One group fetch, hedged: the primary replica gets a single
+        attempt bounded by the hedge threshold; past it (or on any
+        primary failure, or under an injected ``overload.hedge``
+        fault) the request is re-issued against the sibling replicas
+        and the primary's in-flight answer is abandoned (its socket is
+        already closed).  Everything spends the one ``deadline``.
+        """
+        client = self.clients[group]
+        started = self._clock()
+        siblings = client.endpoints[1:]
+        if not siblings:
+            # nobody to hedge to: the plain retry/failover engine
+            response = client.request("pull", payload,
+                                      deadline=deadline)
+            self._observe_pull(group, started)
+            return response
+        threshold = self._group_hedge_threshold(group)
+        forced = fault_point("overload.hedge", group=group, op="pull")
+        if threshold is None and not forced:
+            response = client.request("pull", payload,
+                                      deadline=deadline)
+            self._observe_pull(group, started)
+            return response
+        try:
+            if forced:
+                raise RemoteError("injected hedge trigger")
+            response = client.request(
+                "pull", payload, endpoints=[client.endpoints[0]],
+                timeout_cap=threshold, deadline=deadline,
+                max_attempts=1)
+        except Exception as error:  # noqa: BLE001 - any primary-probe
+            # failure (slow past the threshold included) hedges
+            self.cluster_stats.hedges += 1
+            self._trace("cluster.hedge", group=group,
+                        threshold=threshold,
+                        error=type(error).__name__)
+            try:
+                response = client.request("pull", payload,
+                                          endpoints=siblings,
+                                          deadline=deadline)
+            except Exception as hedge_error:  # noqa: BLE001 - hedge
+                # lost too; the full engine (primary included) is the
+                # last resort
+                log.debug("hedge to %s siblings lost: %s", group,
+                          hedge_error)
+                response = client.request("pull", payload,
+                                          deadline=deadline)
+            else:
+                self.cluster_stats.hedge_wins += 1
+                self._trace("cluster.hedge_win", group=group)
+        self._observe_pull(group, started)
+        return response
+
     def _pull_group(self, group: str, config_fp: str,
                     image_fp: str) -> List[Dict]:
-        """One group's records, failing over past stale replies."""
+        """One group's records, failing over past stale replies.
+
+        The hedged first fetch and every stale-failover refetch spend
+        one shared deadline budget (docs/overload.md) — a group that
+        keeps answering stale cannot hold the boot past its deadline.
+        """
         fault_point("cluster.route", group=group, op="pull")
         client = self.clients[group]
         payload = {"config_fp": config_fp, "image_fp": image_fp}
-        for _ in range(len(client.endpoints)):
-            response = client.request("pull", payload)
+        deadline = Deadline.after(self.request_budget, self._clock)
+        for fetch in range(len(client.endpoints)):
+            if fetch == 0:
+                response = self._hedged_pull(group, payload, deadline)
+            else:
+                response = client.request("pull", payload,
+                                          deadline=deadline)
             if fault_point("cluster.pull", group=group, op="pull"):
                 # a replica answered from a stale manifest: discard and
                 # let the failover order try its siblings

@@ -39,7 +39,9 @@ class LocalCluster:
                  replicas: int = DEFAULT_REPLICAS,
                  lease_timeout: float = 5.0,
                  max_conns: Optional[int] = None,
-                 tracer=None) -> None:
+                 tracer=None,
+                 max_queue_depth: Optional[int] = None,
+                 shed_retry_after: float = 0.05) -> None:
         if shards < 1 or replicas < 1:
             raise ValueError(
                 f"need at least 1 shard and 1 replica, got "
@@ -50,6 +52,8 @@ class LocalCluster:
         self.lease_timeout = lease_timeout
         self.max_conns = max_conns
         self.tracer = tracer
+        self.max_queue_depth = max_queue_depth
+        self.shed_retry_after = shed_retry_after
         self.servers: Dict[Tuple[str, int], CacheServer] = {}
         self._started = False
 
@@ -73,6 +77,8 @@ class LocalCluster:
                     host="127.0.0.1", port=0,
                     lease_timeout=self.lease_timeout,
                     max_conns=self.max_conns, tracer=self.tracer,
+                    max_queue_depth=self.max_queue_depth,
+                    shed_retry_after=self.shed_retry_after,
                     shard_id=group,
                     role="primary" if index == 0 else "replica")
                 server.start()
@@ -126,6 +132,8 @@ class LocalCluster:
             host=old.host, port=old.port,
             lease_timeout=self.lease_timeout,
             max_conns=self.max_conns, tracer=self.tracer,
+            max_queue_depth=self.max_queue_depth,
+            shed_retry_after=self.shed_retry_after,
             shard_id=group, role=old.role)
         server.start()
         self.servers[(group, index)] = server

@@ -552,6 +552,59 @@ class SplitManifestFault(FaultClass):
         return applied
 
 
+# -- overload faults ---------------------------------------------------------
+#
+# These strike the overload-protection control plane (docs/overload.md)
+# at its decision points: shedding in the client's response handling
+# (``overload.shed``), deadline budgets at request entry
+# (``overload.deadline``), and the cluster client's hedge trigger
+# (``overload.hedge``).  Architected state must survive every one —
+# shed and hedged requests retry or degrade down the normal ladder.
+
+@register
+class ServerOverloadedFault(FaultClass):
+    """The server sheds the request with a retryable ``overloaded``
+    answer (admission control under a thundering herd)."""
+
+    name = "server-overloaded"
+    sites = ("overload.shed",)
+    network = True
+    rate = 0.4
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the client raises _Overloaded on truthy
+
+
+@register
+class ExpiredDeadlineFault(FaultClass):
+    """A request's deadline budget is already spent at entry — the
+    client must abandon it immediately (no retries, no breaker
+    penalty) and degrade down the ladder."""
+
+    name = "expired-deadline"
+    sites = ("overload.deadline",)
+    network = True
+    rate = 0.3
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the client treats truthy as a spent budget
+
+
+@register
+class HedgeTriggerFault(FaultClass):
+    """The primary replica looks slow past the hedge threshold: the
+    cluster client must abandon it and hedge the pull to a sibling."""
+
+    name = "hedge-trigger"
+    sites = ("overload.hedge",)
+    cluster = True
+    rate = 0.5
+    max_injections = 100
+
+    def fire(self, rng, site: str, context: Dict):
+        return True     # the cluster client hedges on truthy
+
+
 # -- policy faults -----------------------------------------------------------
 
 @register

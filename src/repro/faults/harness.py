@@ -297,7 +297,7 @@ def modes_for(faults: Sequence[str]) -> List[bool]:
                     for site in fault.sites):
             warm = True
         if any(not site.startswith(("repo.", "loader.", "net.",
-                                    "cluster."))
+                                    "cluster.", "overload."))
                for site in fault.sites):
             cold = True
     modes = []

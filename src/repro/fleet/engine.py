@@ -140,11 +140,15 @@ def _boot_instance(spec: Dict) -> Dict:
         from repro.cluster import ClusterRepository
         remote = ClusterRepository(
             spec["cluster"], local=None,
-            timeout=spec["timeout"], retries=spec["retries"])
+            timeout=spec["timeout"], retries=spec["retries"],
+            request_budget=spec["request_budget"],
+            jitter_seed=spec["instance_seed"])
     else:
         remote = RemoteRepository(
             spec["address"], local=None,
-            timeout=spec["timeout"], retries=spec["retries"])
+            timeout=spec["timeout"], retries=spec["retries"],
+            request_budget=spec["request_budget"],
+            jitter_seed=spec["instance_seed"])
     remote.bind_trace_context(
         TraceContext.for_boot(spec["instance_seed"], spec["rank"]))
     injector = None
@@ -443,7 +447,8 @@ class FleetEngine:
             FaultInjector(scenario.seed,
                           disk_faults).mangle_repository(repo_root)
 
-        server = CacheServer(repo_root, host=self.host, port=0)
+        server = CacheServer(repo_root, host=self.host, port=0,
+                             max_queue_depth=scenario.max_queue_depth)
         address = server.start()
         push_client = RemoteRepository(
             address, local=None, timeout=scenario.timeout,
@@ -478,7 +483,8 @@ class FleetEngine:
         happen outside the herd's pull window, in rank order."""
         from repro.cluster import ClusterRepository, LocalCluster
         grid = LocalCluster(repo_root, shards=scenario.shards,
-                            replicas=scenario.replicas)
+                            replicas=scenario.replicas,
+                            max_queue_depth=scenario.max_queue_depth)
         spec = grid.start()
         push_client = ClusterRepository(
             spec, local=None, timeout=scenario.timeout,
@@ -598,6 +604,7 @@ class FleetEngine:
             "cluster": address if cluster else "",
             "timeout": scenario.timeout,
             "retries": scenario.retries,
+            "request_budget": scenario.request_budget,
             "faults": [name for name in scenario.faults
                        if not make_fault(name).disk],
             "instance_seed": scenario.seed * 100003 + rank,

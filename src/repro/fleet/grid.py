@@ -81,6 +81,12 @@ class FleetScenario:
     pool: str = "thread"
     timeout: float = 5.0
     retries: int = 3
+    #: per-request deadline budget (seconds) each instance's client
+    #: spends across attempts/retries/failovers (docs/overload.md)
+    request_budget: float = 8.0
+    #: server-side admission bound on concurrently dispatching store
+    #: ops (None = unlimited); the overload gate undersizes this
+    max_queue_depth: object = None
     #: attach a ClusterCollector to the hosted server(s): scrape
     #: telemetry, embed SLO verdicts, export the distributed trace
     #: lanes (``repro fleet --collect``; docs/observability.md)

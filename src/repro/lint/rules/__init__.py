@@ -7,6 +7,7 @@ Project-invariant packs (severity ``error``):
 * :mod:`repro.lint.rules.faultcover` — FLT001
 * :mod:`repro.lint.rules.observability` — OBS001-002
 * :mod:`repro.lint.rules.exceptions` — EXC001
+* :mod:`repro.lint.rules.timeouts` — TMO001
 
 Style pack (severity ``warning``, the old ``tools/minilint.py``):
 
@@ -19,6 +20,7 @@ from repro.lint.rules import exceptions  # noqa: F401
 from repro.lint.rules import faultcover  # noqa: F401
 from repro.lint.rules import observability  # noqa: F401
 from repro.lint.rules import style  # noqa: F401
+from repro.lint.rules import timeouts  # noqa: F401
 from repro.lint.rules.style import STYLE_RULE_IDS
 
 __all__ = ["STYLE_RULE_IDS"]

@@ -202,12 +202,33 @@ class ClusterCollector:
         breaker_flaps = self.client_stats.get("breaker_opens", 0) \
             + self.reachability_flaps
         stale, total, _ = self._staleness()
+        # overload indicators (docs/overload.md): amplification and
+        # deadline misses from the summed client counters, shed rate
+        # from the merged server registries.  The labeled per-op
+        # request counters spell ``server_requests{op=...}`` — the
+        # brace matters, because ``server_requests_shed`` shares the
+        # prefix.
+        requests = self.client_stats.get("requests", 0)
+        retries = self.client_stats.get("retries", 0)
+        deadline_missed = \
+            self.client_stats.get("deadline_exceeded", 0) + \
+            self.client_stats.get("late_responses", 0)
+        served = sum(value for series, value in merged.items()
+                     if series.startswith("server_requests{")
+                     and isinstance(value, (int, float)))
+        shed = merged.get("server_requests_shed", 0)
+        shed = shed if isinstance(shed, (int, float)) else 0
         return {
             "pull_p99_ms": pull_p99,
             "quorum_miss_rate": (quorum_misses / pushes
                                  if pushes else 0.0),
             "breaker_flaps": float(breaker_flaps),
             "stale_replica_ratio": (stale / total if total else 0.0),
+            "retry_amplification": ((requests + retries) / requests
+                                    if requests else 1.0),
+            "shed_rate": (shed / served if served else 0.0),
+            "deadline_miss_rate": (deadline_missed / requests
+                                   if requests else 0.0),
         }
 
     def verdicts(self, canonical: bool = False) -> List[Dict]:

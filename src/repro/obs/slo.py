@@ -61,6 +61,24 @@ DEFAULT_SLOS = (
             warn=0.0, fail=0.5,
             description="replicas holding fewer objects than their "
                         "group's best"),
+    # overload-protection objectives (docs/overload.md).  Retry
+    # amplification is the metastability guard from arXiv 1606.05794:
+    # attempts per logical request must stay bounded (the retry budget
+    # targets <= 2x) even when the cluster is melting.  Shedding is
+    # *healthy* under a thundering herd, so its thresholds only catch
+    # a server rejecting nearly everything; deadline misses mean work
+    # was abandoned or served late — a capacity signal.
+    SLORule("retry-amplification", "retry_amplification",
+            warn=2.0, fail=3.0,
+            description="request attempts per logical client request "
+                        "(1.0 = no retries; the budget targets <= 2x)"),
+    SLORule("shed-rate", "shed_rate", warn=0.6, fail=0.95,
+            description="server requests answered with the retryable "
+                        "overloaded shed"),
+    SLORule("deadline-miss-rate", "deadline_miss_rate",
+            warn=0.1, fail=0.5,
+            description="client requests abandoned past their "
+                        "deadline budget (late responses included)"),
 )
 
 

@@ -68,6 +68,12 @@ EVENT_TYPES: Dict[str, str] = {
     "remote.fallback": "i",
     "remote.breaker_open": "i",
     "remote.breaker_close": "i",
+    # overload-protection plane (docs/overload.md): client-side
+    # decisions — a shed answer honored, a deadline budget spent (or a
+    # late response dropped), a retry token bucket running dry
+    "remote.shed": "i",
+    "remote.deadline": "i",
+    "remote.budget_exhausted": "i",
     # distributed tracing (repro.obs.telemetry): client-side request
     # slices stamped with the propagated trace context, and the
     # server-side child span opened under it
@@ -79,6 +85,10 @@ EVENT_TYPES: Dict[str, str] = {
     "server.start": "i",
     "server.request": "i",
     "server.stop": "i",
+    # server-side admission control: a request shed past the queue
+    # bound, or rejected because its deadline budget was already spent
+    "server.shed": "i",
+    "server.deadline": "i",
     # cluster tier (repro.cluster): the degradation ladder made
     # visible — replica failovers, per-group degradations, write
     # quorum accounting, anti-entropy repair actions
@@ -86,6 +96,10 @@ EVENT_TYPES: Dict[str, str] = {
     "cluster.degrade": "i",
     "cluster.quorum": "i",
     "cluster.repair": "i",
+    # hedged reads: the primary probe abandoned past its threshold,
+    # and the sibling replica's answer winning the race
+    "cluster.hedge": "i",
+    "cluster.hedge_win": "i",
     # run envelope
     "run.begin": "i",
     "run.end": "i",

@@ -1,0 +1,121 @@
+"""Deadline budgets and retry budgets for the remote client stack.
+
+Overload protection (docs/overload.md) rests on two small deterministic
+primitives:
+
+* :class:`Deadline` — one *relative* time budget per logical request.
+  Every attempt, retry and failover spends from the same budget; the
+  remaining budget travels on the wire as the ``deadline_ms`` frame
+  field so servers can refuse already-expired work instead of serving
+  dead requests.  The budget is relative (milliseconds remaining), not
+  an absolute timestamp, so no cross-host clock comparison is ever
+  needed.
+
+* :class:`RetryBudget` — a token bucket that bounds retry
+  *amplification*.  Retries spend a token; successes earn a fraction of
+  one back.  Under a healthy service the bucket stays full and retries
+  behave exactly as before; under a persistent failure the bucket
+  drains and clients stop hammering the service and degrade down the
+  replica → local → cold ladder immediately (target amplification
+  ≤ 2x, per arXiv 1606.05794's provisioning-storm analysis).
+
+Both classes run on an injected clock (``time.monotonic`` in
+production, a fake in tests) and contain no randomness, keeping the
+simulation-determinism contract (docs/static_analysis.md, DET001-003).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = ["Deadline", "RetryBudget"]
+
+
+class Deadline:
+    """A monotonic-clock expiry that every attempt spends from.
+
+    Construct with :meth:`after` at the top of a logical request; pass
+    :meth:`remaining` to each socket timeout and :meth:`remaining_ms`
+    into each frame.  ``remaining_ms`` rounds *up*, so any positive
+    budget survives the wire as a positive integer.
+    """
+
+    __slots__ = ("_expiry", "_clock")
+
+    def __init__(self, expiry: float,
+                 clock: Callable[[], float]) -> None:
+        self._expiry = expiry
+        self._clock = clock
+
+    @classmethod
+    def after(cls, budget: float,
+              clock: Callable[[], float]) -> "Deadline":
+        """A deadline ``budget`` seconds from now on ``clock``."""
+        if budget <= 0:
+            raise ValueError(f"deadline budget must be positive, "
+                             f"got {budget!r}")
+        return cls(clock() + budget, clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self._expiry - self._clock())
+
+    def remaining_ms(self) -> int:
+        """Whole milliseconds of budget left, rounded up — the wire
+        representation (``deadline_ms``)."""
+        return int(math.ceil(self.remaining() * 1000.0))
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expiry
+
+
+class RetryBudget:
+    """Token bucket bounding retry amplification.
+
+    * every retry (not the first attempt) must :meth:`spend` one token;
+    * every success :meth:`earn`\\ s ``earn_rate`` of a token back,
+      capped at ``capacity``;
+    * the bucket starts with ``initial`` tokens so cold clients can
+      still ride out a transient blip.
+
+    With ``earn_rate`` = 0.5 a client in steady state sends at most
+    1.5 requests per logical operation — amplification bounded by
+    ``1 + earn_rate`` plus the one-off ``initial`` allowance — without
+    any coordination between clients.
+    """
+
+    __slots__ = ("capacity", "earn_rate", "tokens",
+                 "spent", "earned", "exhaustions")
+
+    def __init__(self, capacity: float = 8.0, earn_rate: float = 0.5,
+                 initial: float = 2.0) -> None:
+        if capacity <= 0 or earn_rate < 0 or initial < 0:
+            raise ValueError(
+                f"invalid retry budget capacity={capacity!r} "
+                f"earn_rate={earn_rate!r} initial={initial!r}")
+        self.capacity = float(capacity)
+        self.earn_rate = float(earn_rate)
+        self.tokens = min(self.capacity, float(initial))
+        #: lifetime accounting, surfaced through RemoteStats
+        self.spent = 0
+        self.earned = 0.0
+        self.exhaustions = 0
+
+    def spend(self) -> bool:
+        """Take one token for a retry; False when the bucket is dry
+        (caller must stop retrying and degrade)."""
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhaustions += 1
+        return False
+
+    def earn(self) -> None:
+        """Credit a success back into the bucket."""
+        credit = min(self.earn_rate, self.capacity - self.tokens)
+        if credit > 0:
+            self.tokens += credit
+            self.earned += credit

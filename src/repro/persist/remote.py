@@ -12,14 +12,27 @@ translation.
 
 Failure handling, layer by layer:
 
-* **per-request timeouts** — every socket operation is bounded
-  (``timeout``), so a hung server costs milliseconds, not a wedged
-  boot;
+* **deadline propagation** — every logical request opens one
+  :class:`~repro.persist.deadline.Deadline` (``request_budget``
+  seconds) that all attempts, retries and failovers spend from; each
+  attempt's socket timeout is ``min(timeout, remaining budget)`` and
+  the remaining budget rides the frame as ``deadline_ms`` so servers
+  can refuse already-dead work.  A response arriving after its own
+  deadline is *dropped* (counted in ``late_responses``) — no caller
+  ever consumes a result past its budget;
 * **bounded retries** — transient failures (refused connection, torn
-  frame, timeout, ``lease-busy``) are retried up to ``retries`` times
-  with exponential backoff and *deterministic* jitter (hashed from the
+  frame, timeout, ``lease-busy``, ``overloaded``) are retried up to
+  ``retries`` times with exponential backoff and *deterministic*
+  jitter (hashed from the jitter seed, the endpoint address and the
   request identity, never the wall clock or a global RNG, so tests and
-  chaos runs replay exactly);
+  chaos runs replay exactly and concurrent clients never sync into
+  lockstep retry waves); a shedding server's ``retry_after`` hint
+  raises the wait floor;
+* **retry budgets** — retries additionally spend from a
+  :class:`~repro.persist.deadline.RetryBudget` token bucket that only
+  successes refill, so a down shard produces bounded amplification
+  instead of a retry storm; a dry bucket fails the request over to the
+  degradation ladder immediately;
 * **replica failover** — a client given several endpoints (a shard
   group's replica set, see ``repro.cluster``) spreads its retry budget
   across them in declared order, healthy endpoints first, so one dead
@@ -58,6 +71,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cacheserver import protocol
 from repro.faults.plane import fault_point
+from repro.persist.deadline import Deadline, RetryBudget
 from repro.persist.repository import TranslationRepository
 
 log = logging.getLogger("repro.persist.remote")
@@ -73,6 +87,13 @@ class RemoteError(Exception):
 
 class RemoteUnavailable(RemoteError):
     """Transport-level failure after exhausting the retry budget."""
+
+
+class RemoteRejected(RemoteError):
+    """The server indicted the *request* (``bad-request`` /
+    ``deadline-exceeded``): fail fast, no retry, and — unlike server
+    faults — no circuit-breaker penalty and no dropped connection,
+    because the endpoint is healthy."""
 
 
 def parse_address(address) -> Tuple[str, object]:
@@ -132,6 +153,18 @@ class RemoteStats:
     failovers: int = 0
     records_pulled: int = 0
     records_pushed: int = 0
+    #: ``overloaded`` answers honored (server shed us; docs/overload.md)
+    sheds: int = 0
+    #: requests abandoned because their deadline budget ran out
+    deadline_exceeded: int = 0
+    #: requests abandoned because the retry token bucket ran dry
+    budget_exhausted: int = 0
+    #: responses received intact but *after* the deadline — dropped,
+    #: never surfaced to a caller
+    late_responses: int = 0
+    #: fail-fast rejections (``bad-request``/``deadline-exceeded``)
+    #: that burned no retries and no breaker state
+    rejected_fast: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -241,6 +274,13 @@ class RemoteRepository:
     store.  ``sleep`` is injectable so tests and chaos runs never
     actually wait out a backoff.  ``name`` labels this client (the
     shard group name) in fault-injection context and traces.
+
+    Overload knobs (docs/overload.md): ``request_budget`` is the
+    deadline budget in seconds for one logical request (attempts +
+    backoffs + failovers all spend from it); ``retry_budget_*``
+    parameterize the token bucket that bounds retry amplification;
+    ``jitter_seed`` decorrelates this client's backoff jitter from its
+    peers' (the fleet engine passes each instance's seed).
     """
 
     def __init__(self, address, local=None, timeout: float = 2.0,
@@ -249,7 +289,12 @@ class RemoteRepository:
                  breaker_threshold: int = 4,
                  breaker_cooldown: float = 1.0,
                  tracer=None, sleep=time.sleep,
-                 clock=time.monotonic, name: str = "") -> None:
+                 clock=time.monotonic, name: str = "",
+                 request_budget: float = 8.0,
+                 retry_budget_capacity: float = 8.0,
+                 retry_budget_earn: float = 0.5,
+                 retry_budget_initial: float = 3.0,
+                 jitter_seed: int = 0) -> None:
         self.endpoints = [
             Endpoint(addr, index,
                      CircuitBreaker(threshold=breaker_threshold,
@@ -265,8 +310,14 @@ class RemoteRepository:
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        self.request_budget = request_budget
+        self.jitter_seed = jitter_seed
+        self.retry_budget = RetryBudget(capacity=retry_budget_capacity,
+                                        earn_rate=retry_budget_earn,
+                                        initial=retry_budget_initial)
         self.remote_stats = RemoteStats()
         self.tracer = tracer
+        self._clock = clock
         #: distributed-tracing root (:class:`repro.obs.telemetry
         #: .TraceContext`); when bound, every request derives a child
         #: span, stamps it into the frame as ``trace_ctx``, and — with
@@ -332,15 +383,20 @@ class RemoteRepository:
 
     # -- connection management ----------------------------------------------
 
-    def _connect(self, ep: Endpoint) -> socket.socket:
+    def _connect(self, ep: Endpoint,
+                 timeout: Optional[float] = None) -> socket.socket:
+        # the socket timeout always derives from the caller's deadline
+        # budget (TMO001); ``self.timeout`` is only its upper bound
+        budget = self.timeout if timeout is None else timeout
         if ep.sock is not None:
+            ep.sock.settimeout(budget)
             return ep.sock
         fault_point("net.connect", address=ep.address)
         if ep.kind == "unix":
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
+        sock.settimeout(budget)
         try:
             sock.connect(ep.endpoint)
         except BaseException:
@@ -355,28 +411,51 @@ class RemoteRepository:
 
     # -- the request engine --------------------------------------------------
 
-    def _backoff(self, op: str, attempt: int) -> float:
+    def _backoff(self, op: str, attempt: int,
+                 endpoint: str = "") -> float:
         """Exponential backoff with deterministic jitter.
 
-        The jitter is hashed from (op, request seq, attempt) so
-        concurrent clients decorrelate without any global RNG — the
-        same request history always waits the same total time.
+        The jitter is hashed from (jitter seed, endpoint, op, request
+        seq, attempt) so concurrent clients decorrelate without any
+        global RNG — the same request history always waits the same
+        total time, but two clients retrying the same endpoint after
+        the same failure never synchronize into lockstep retry waves
+        (their seeds differ), and one client's retries against two
+        replicas spread out too (the addresses differ).
         """
         spread = zlib.crc32(
-            f"{op}:{self._request_seq}:{attempt}".encode()) % 1000
+            f"{self.jitter_seed}:{endpoint}:{op}:"
+            f"{self._request_seq}:{attempt}".encode()) % 1000
         factor = 0.5 + spread / 2000.0      # in [0.5, 1.0)
         return min(self.backoff_cap,
                    self.backoff_base * (2 ** attempt) * factor)
 
-    def _attempt(self, op: str, payload: Dict, ep: Endpoint) -> Dict:
-        """One network round trip on one endpoint; raises on failure."""
+    def _attempt(self, op: str, payload: Dict, ep: Endpoint,
+                 deadline: Deadline,
+                 timeout_cap: Optional[float] = None) -> Dict:
+        """One network round trip on one endpoint; raises on failure.
+
+        The socket timeout is ``min(timeout, remaining deadline)``
+        (optionally capped further by ``timeout_cap`` — the cluster
+        client's hedge threshold), and the remaining budget is stamped
+        into the frame as ``deadline_ms`` on *every* attempt, so the
+        server always sees how much of the budget retries have spent.
+        """
         if fault_point("cluster.replica", group=self.name,
                        replica=ep.index, address=ep.address):
             raise ConnectionResetError(
                 f"injected replica partition from {ep.address}")
-        sock = self._connect(ep)
+        remaining = deadline.remaining()
+        if remaining <= 0.0:
+            raise _DeadlineExpired(
+                f"no budget left before attempting {op}")
+        attempt_timeout = min(self.timeout, remaining)
+        if timeout_cap is not None:
+            attempt_timeout = min(attempt_timeout, timeout_cap)
+        sock = self._connect(ep, timeout=attempt_timeout)
         request = {"op": op}
         request.update(payload)
+        request["deadline_ms"] = deadline.remaining_ms()
         fault_point("net.send", op=op)
         protocol.send_message(sock, request)
         fault_point("net.recv", op=op)
@@ -384,18 +463,32 @@ class RemoteRepository:
         if fault_point("net.payload", op=op):
             raise protocol.ProtocolError(
                 "injected payload corruption (checksum mismatch)")
+        if fault_point("overload.shed", op=op, endpoint=ep.index):
+            raise _Overloaded("injected server shed",
+                              retry_after=self.backoff_base)
         if response.get("ok") is True:
             if fault_point("net.lease", op=op):
                 raise _LeaseBusy("injected stale writer lease")
             return response
         category = response.get("error")
         detail = response.get("detail", "")
+        if category == "overloaded":
+            # load shedding: retryable, and the connection stays up —
+            # honor the server's retry_after pacing hint if it sent one
+            hint = response.get("retry_after")
+            raise _Overloaded(
+                f"{category}: {detail}",
+                retry_after=hint if isinstance(hint, (int, float))
+                and hint >= 0 else 0.0)
         if category in protocol.RETRYABLE_ERRORS:
             if category == "busy":
                 # admission rejections also drop the connection
                 # server-side; reconnect on the retry
                 ep.close()
             raise _LeaseBusy(f"{category}: {detail}")
+        if category in protocol.CLIENT_FAULT_ERRORS:
+            raise RemoteRejected(
+                f"server rejected {op}: {category}: {detail}")
         raise RemoteError(f"server refused {op}: {category}: {detail}")
 
     def _candidates(self, endpoints: Sequence[Endpoint]) -> List[Endpoint]:
@@ -410,11 +503,26 @@ class RemoteRepository:
         return [ep for ep in endpoints if ep.breaker.allows()]
 
     def _request(self, op: str, payload: Dict,
-                 endpoints: Optional[Sequence[Endpoint]] = None) -> Dict:
-        """Timeouts, retries, backoff, failover, breakers — or raises."""
+                 endpoints: Optional[Sequence[Endpoint]] = None,
+                 timeout_cap: Optional[float] = None,
+                 deadline: Optional[Deadline] = None,
+                 max_attempts: Optional[int] = None) -> Dict:
+        """Deadlines, budgets, retries, backoff, failover, breakers —
+        or raises.  ``deadline`` lets a caller (the cluster client's
+        hedged pull) make several calls spend one shared budget;
+        ``max_attempts`` overrides the retry count (the hedge's primary
+        probe is a single attempt)."""
         stats = self.remote_stats
         stats.requests += 1
         self._request_seq += 1
+        if deadline is None:
+            deadline = Deadline.after(self.request_budget, self._clock)
+        if fault_point("overload.deadline", op=op):
+            # injected budget expiry: the request is born dead
+            stats.deadline_exceeded += 1
+            self._trace("remote.deadline", op=op, stage="injected")
+            raise RemoteUnavailable(
+                f"{op} deadline budget expired (injected)")
         pool = self.endpoints if endpoints is None else list(endpoints)
         candidates = self._candidates(pool)
         if not candidates:
@@ -433,23 +541,62 @@ class RemoteRepository:
             payload["trace_ctx"] = span_ctx.to_wire()
         last_error: Optional[Exception] = None
         tried: List[Endpoint] = []
-        for attempt in range(self.retries + 1):
+        attempts = self.retries + 1 if max_attempts is None \
+            else max(1, max_attempts)
+        for attempt in range(attempts):
             ep = candidates[attempt % len(candidates)]
             if ep not in tried:
                 tried.append(ep)
             if attempt:
+                # a retry spends from both budgets: the deadline (time)
+                # and the retry bucket (amplification) — whichever runs
+                # out first ends the request without breaker penalties
+                # (the budget is indicted, not the endpoints)
+                if deadline.expired:
+                    stats.deadline_exceeded += 1
+                    self._trace("remote.deadline", op=op,
+                                attempt=attempt, stage="retry")
+                    raise RemoteUnavailable(
+                        f"{op} deadline budget spent after "
+                        f"{attempt} attempt(s): "
+                        f"{type(last_error).__name__}: {last_error}")
+                if not self.retry_budget.spend():
+                    stats.budget_exhausted += 1
+                    self._trace("remote.budget_exhausted", op=op,
+                                attempt=attempt)
+                    raise RemoteUnavailable(
+                        f"{op} retry budget exhausted after "
+                        f"{attempt} attempt(s): "
+                        f"{type(last_error).__name__}: {last_error}")
                 stats.retries += 1
                 self._trace("remote.retry", op=op, attempt=attempt,
                             endpoint=ep.index,
                             error=type(last_error).__name__)
-                self._sleep(self._backoff(op, attempt - 1))
+                delay = self._backoff(op, attempt - 1, ep.address)
+                if isinstance(last_error, _Overloaded):
+                    delay = max(delay, last_error.retry_after)
+                self._sleep(min(delay, deadline.remaining()))
             try:
-                response = self._attempt(op, payload, ep)
+                response = self._attempt(op, payload, ep, deadline,
+                                         timeout_cap=timeout_cap)
+            except _Overloaded as error:
+                stats.sheds += 1
+                last_error = error
+                self._trace("remote.shed", op=op, endpoint=ep.index,
+                            retry_after=error.retry_after)
+                continue        # shedding is healthy backpressure:
+                #                 the connection stays up
             except _LeaseBusy as error:
                 stats.lease_busy += 1
                 last_error = error
                 continue        # server is healthy, just contended:
                 #                 the connection stays up
+            except _DeadlineExpired as error:
+                stats.deadline_exceeded += 1
+                self._trace("remote.deadline", op=op,
+                            attempt=attempt, stage="attempt")
+                raise RemoteUnavailable(
+                    f"{op} deadline budget spent: {error}")
             except protocol.ProtocolError as error:
                 stats.protocol_errors += 1
                 last_error = error
@@ -465,6 +612,11 @@ class RemoteRepository:
                 last_error = error
                 ep.close()
                 continue
+            except RemoteRejected:
+                # the request is defective, not the endpoint: no retry,
+                # no breaker penalty, and the connection stays usable
+                stats.rejected_fast += 1
+                raise
             except RemoteError:
                 ep.close()
                 ep.failures += 1
@@ -479,9 +631,20 @@ class RemoteRepository:
             if was_open:
                 self._trace("remote.breaker_close", op=op,
                             endpoint=ep.index)
+            if deadline.expired:
+                # intact but late: the endpoint is healthy (its breaker
+                # was credited above) yet the answer is dead — drop it
+                # so nothing downstream consumes a post-deadline result
+                stats.late_responses += 1
+                self._trace("remote.deadline", op=op,
+                            attempt=attempt, stage="late")
+                raise RemoteUnavailable(
+                    f"{op} response from {ep.address} arrived after "
+                    f"its deadline; dropped")
             if ep is not pool[0]:
                 stats.failovers += 1
             stats.successes += 1
+            self.retry_budget.earn()
             if span_ctx is not None and self.tracer is not None:
                 self.tracer.complete(
                     _SPAN_NAMES.get(op, "remote.op"),
@@ -500,7 +663,7 @@ class RemoteRepository:
                             endpoint=ep.index)
         raise RemoteUnavailable(
             f"{op} to {self.address} failed after "
-            f"{self.retries + 1} attempt(s): "
+            f"{attempts} attempt(s): "
             f"{type(last_error).__name__}: {last_error}")
 
     def _fall_back(self, op: str, error: Exception) -> None:
@@ -519,14 +682,23 @@ class RemoteRepository:
 
     # -- cluster-facing surface ----------------------------------------------
 
-    def request(self, op: str, payload: Optional[Dict] = None) -> Dict:
+    def request(self, op: str, payload: Optional[Dict] = None,
+                endpoints: Optional[Sequence[Endpoint]] = None,
+                timeout_cap: Optional[float] = None,
+                deadline: Optional[Deadline] = None,
+                max_attempts: Optional[int] = None) -> Dict:
         """One raw request with the full retry/failover/breaker engine.
 
         Unlike the repository surface this *raises* on exhaustion — the
         cluster client (``repro.cluster.client``) owns the degradation
-        ladder across shard groups and needs to see the failure.
+        ladder across shard groups and needs to see the failure.  The
+        cluster's hedged pulls use ``endpoints`` (try just the primary
+        first), ``timeout_cap`` (the hedge latency threshold) and
+        ``deadline`` (one budget shared across primary + hedge).
         """
-        return self._request(op, payload or {})
+        return self._request(op, payload or {}, endpoints=endpoints,
+                             timeout_cap=timeout_cap, deadline=deadline,
+                             max_attempts=max_attempts)
 
     def fan_out(self, op: str,
                 payload: Optional[Dict] = None) -> List[Optional[Dict]]:
@@ -674,3 +846,16 @@ class RemoteRepository:
 
 class _LeaseBusy(Exception):
     """Internal: retryable server-side contention (stale/held lease)."""
+
+
+class _Overloaded(_LeaseBusy):
+    """Internal: the server shed this request (``overloaded``); carries
+    its ``retry_after`` pacing hint (seconds, 0.0 when absent)."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class _DeadlineExpired(Exception):
+    """Internal: the request's deadline budget ran out mid-flight."""

@@ -139,6 +139,50 @@ def cluster_cocktail(workdir: str) -> int:
     return failures
 
 
+#: The overload-protection cocktail (docs/overload.md): injected
+#: sheds, pre-expired deadlines and forced hedges stacked on a slow
+#: server — the shed/deadline/hedge decision points must degrade
+#: without moving architected results.
+OVERLOAD_REMOTE_FAULTS = ("server-overloaded", "expired-deadline",
+                          "slow-server")
+OVERLOAD_CLUSTER_FAULTS = ("server-overloaded", "expired-deadline",
+                           "hedge-trigger", "slow-server",
+                           "shard-down")
+
+
+def overload_cocktail(workdir: str) -> int:
+    """The overload classes stacked on a slow server, both transports.
+
+    Remote mode drives injected sheds (``overload.shed``) and
+    pre-spent deadlines (``overload.deadline``) through the single
+    client/server path; cluster mode adds forced hedges
+    (``overload.hedge``) and a downed shard so the hedge race, the
+    retry budget and the degradation ladder all fire together.  As
+    everywhere: architected results must byte-match the fault-free
+    baseline.
+    """
+    failures = 0
+    for name in REMOTE_WORKLOADS:
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        for seed in REMOTE_SEEDS:
+            outcome = run_faulted(baseline,
+                                  list(OVERLOAD_REMOTE_FAULTS), seed,
+                                  workdir=workdir, remote=True)
+            print(outcome.format())
+            failures += not outcome.ok
+    for name in CLUSTER_WORKLOADS:
+        baseline = prepare_baseline(name, PROGRAMS[name], workdir,
+                                    hot_threshold=HOT_THRESHOLD)
+        for seed in CLUSTER_SEEDS:
+            outcome = run_faulted(baseline,
+                                  list(OVERLOAD_CLUSTER_FAULTS), seed,
+                                  workdir=workdir, cluster=True)
+            print(outcome.format())
+            failures += not outcome.ok
+    return failures
+
+
 def cluster_drill(workdir: str) -> int:
     """Kill live shard processes mid-fleet; architected results must
     not move, and restart + anti-entropy must restore replication.
@@ -329,6 +373,8 @@ def main() -> int:
         failures += remote_cocktail(workdir)
         print("\n== cluster chaos cocktail (sharded cluster mode) ==")
         failures += cluster_cocktail(workdir)
+        print("\n== overload cocktail (shed/deadline/hedge classes) ==")
+        failures += overload_cocktail(workdir)
         print("\n== cluster kill/repair drill (live shard outages) ==")
         failures += cluster_drill(workdir)
         print("\n== fsck repair round-trip (disk fault classes) ==")
